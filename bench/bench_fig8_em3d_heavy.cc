@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 8: EM3D cycles per iteration with heavy communication
+ * (n_nodes=100, d_nodes=20, local_p=3, dist_span=20). Same columns
+ * as Figure 7; under this load the flow-control and in-order
+ * benefits are both larger.
+ *
+ * Args: nodes=64 iters=3 seed=1 csv=false
+ */
+
+#define NIFDY_EM3D_NO_MAIN
+#include "bench_fig7_em3d_light.cc"
+#undef NIFDY_EM3D_NO_MAIN
+
+int
+main(int argc, char **argv)
+{
+    return runEm3dFigure(argc, argv, nifdy::Em3dParams::heavy(),
+                         "Figure 8: EM3D cycles/iteration, "
+                         "heavy communication (n=100 d=20 local=3% "
+                         "span=20)");
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * packet pool recycling, RNG, channel transfer, router stepping
+ * (idle and saturated), NIFDY unit stepping, and whole-system
+ * cycles/second for the standard 64-node configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hh"
+#include "sim/log.hh"
+#include "traffic/synthetic.hh"
+
+using namespace nifdy;
+
+namespace
+{
+
+void
+BM_PacketPoolAllocRelease(benchmark::State &state)
+{
+    PacketPool pool;
+    for (auto _ : state) {
+        Packet *p = pool.alloc();
+        benchmark::DoNotOptimize(p);
+        pool.release(p);
+    }
+}
+BENCHMARK(BM_PacketPoolAllocRelease);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ChannelPushPop(benchmark::State &state)
+{
+    ChannelParams cp;
+    cp.cyclesPerFlit = 1;
+    cp.latency = 1;
+    Channel ch(cp);
+    PacketPool pool;
+    Packet *p = pool.alloc();
+    p->sizeBytes = 4;
+    Cycle t = 0;
+    for (auto _ : state) {
+        Flit f;
+        f.pkt = p;
+        f.head = f.tail = true;
+        ch.push(f, t);
+        t += 2;
+        benchmark::DoNotOptimize(ch.pop(t));
+    }
+    pool.release(p);
+}
+BENCHMARK(BM_ChannelPushPop);
+
+/** Cost of stepping an idle 64-node network, per simulated cycle. */
+void
+BM_IdleNetworkCycle(benchmark::State &state)
+{
+    setQuiet(true);
+    NetworkParams np;
+    np.numNodes = 64;
+    auto net = makeNetwork("fattree", np);
+    Kernel kernel;
+    net->addToKernel(kernel);
+    for (auto _ : state)
+        kernel.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdleNetworkCycle);
+
+/** Whole-system simulation speed under heavy synthetic load. */
+void
+BM_LoadedSystemCycle(benchmark::State &state)
+{
+    setQuiet(true);
+    ExperimentConfig cfg;
+    cfg.topology = state.range(0) == 0 ? "mesh2d" : "fattree";
+    cfg.numNodes = 64;
+    cfg.nicKind = NicKind::nifdy;
+    cfg.msg.packetWords = 8;
+    Experiment exp(cfg);
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(),
+                               SyntheticParams::heavy(), 1));
+    exp.runFor(5000); // warm up into steady state
+    for (auto _ : state)
+        exp.kernel().step();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["pkts/kcycle"] = benchmark::Counter(
+        exp.packetsDelivered() * 1000.0 / exp.kernel().now());
+}
+BENCHMARK(BM_LoadedSystemCycle)->Arg(0)->Arg(1);
+
+/** NIFDY send-side path: pool insert + eligibility + injection. */
+void
+BM_NifdySendPath(benchmark::State &state)
+{
+    setQuiet(true);
+    ExperimentConfig cfg;
+    cfg.topology = "mesh2d";
+    cfg.numNodes = 4;
+    cfg.nicKind = NicKind::nifdy;
+    Experiment exp(cfg);
+    NodeId dst = 1;
+    for (auto _ : state) {
+        state.PauseTiming();
+        // Drain so the pool has room and the OPT is empty.
+        while (!exp.nic(0).idle() || !exp.nic(dst).idle()) {
+            exp.kernel().step();
+            Cycle now = exp.kernel().now();
+            if (Packet *p = exp.nic(dst).pollReceive(now))
+                exp.pool().release(p);
+        }
+        Packet *p = exp.pool().alloc();
+        p->src = 0;
+        p->dst = dst;
+        p->sizeBytes = 32;
+        state.ResumeTiming();
+        exp.nic(0).send(p, exp.kernel().now());
+        exp.kernel().step();
+    }
+}
+BENCHMARK(BM_NifdySendPath);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses: argument
+ * parsing, standard experiment assembly, and result collection.
+ *
+ * Every bench accepts "key=value" arguments; the most useful are
+ *   cycles=N   measurement window (default per bench)
+ *   nodes=N    machine size (default 64)
+ *   seed=N     RNG seed (default 1)
+ *   csv=true   additionally emit CSV rows
+ */
+
+#ifndef NIFDY_BENCH_BENCHUTIL_HH
+#define NIFDY_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/config.hh"
+#include "sim/log.hh"
+#include "sim/table.hh"
+#include "traffic/synthetic.hh"
+
+namespace nifdy
+{
+
+/** Common bench options parsed from argv. */
+struct BenchArgs
+{
+    Config conf;
+    Cycle cycles;
+    int nodes;
+    std::uint64_t seed;
+    bool csv;
+
+    BenchArgs(int argc, char **argv, Cycle defCycles, int defNodes = 64)
+    {
+        conf.parseArgs(argc, argv);
+        cycles = conf.getInt("cycles", static_cast<long>(defCycles));
+        nodes = static_cast<int>(conf.getInt("nodes", defNodes));
+        seed = conf.getInt("seed", 1);
+        csv = conf.getBool("csv", false);
+    }
+};
+
+inline NicKind
+parseNicKind(const std::string &name)
+{
+    if (name == "none")
+        return NicKind::none;
+    if (name == "buffers")
+        return NicKind::buffers;
+    if (name == "nifdy")
+        return NicKind::nifdy;
+    if (name == "lossy")
+        return NicKind::lossy;
+    fatal("unknown NIC kind '%s'", name.c_str());
+}
+
+/** Assemble an experiment with synthetic traffic on every node. */
+inline std::unique_ptr<Experiment>
+makeSyntheticExperiment(const std::string &topology, NicKind kind,
+                        int nodes, const SyntheticParams &sp,
+                        std::uint64_t seed,
+                        bool exploitInOrder = true)
+{
+    ExperimentConfig cfg;
+    cfg.topology = topology;
+    cfg.numNodes = nodes;
+    cfg.nicKind = kind;
+    cfg.seed = seed;
+    cfg.exploitInOrder = exploitInOrder;
+    cfg.msg.packetWords = 8; // the synthetic benchmark's packet size
+    auto exp = std::make_unique<Experiment>(cfg);
+    for (NodeId n = 0; n < exp->numNodes(); ++n)
+        exp->setWorkload(n, std::make_unique<SyntheticWorkload>(
+                                exp->proc(n), exp->msg(n),
+                                exp->barrier(), exp->numNodes(), sp,
+                                seed));
+    return exp;
+}
+
+/** Packets delivered by synthetic traffic in a fixed window. */
+inline std::uint64_t
+syntheticThroughput(const std::string &topology, NicKind kind,
+                    const SyntheticParams &sp, Cycle cycles, int nodes,
+                    std::uint64_t seed)
+{
+    auto exp = makeSyntheticExperiment(topology, kind, nodes, sp, seed);
+    exp->runFor(cycles);
+    return exp->packetsDelivered();
+}
+
+inline void
+printTable(const Table &t, bool csv)
+{
+    t.print();
+    if (csv)
+        std::fputs(t.csv().c_str(), stdout);
+}
+
+} // namespace nifdy
+
+#endif // NIFDY_BENCH_BENCHUTIL_HH

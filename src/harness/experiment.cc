@@ -1,0 +1,328 @@
+#include "harness/experiment.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+const char *
+nicKindName(NicKind kind)
+{
+    switch (kind) {
+      case NicKind::none:
+        return "none";
+      case NicKind::buffers:
+        return "buffers";
+      case NicKind::nifdy:
+        return "nifdy";
+      case NicKind::lossy:
+        return "nifdy-lossy";
+    }
+    return "?";
+}
+
+bool
+topologyInOrder(const std::string &topology)
+{
+    // Single path and a single VC per class: dimension-ordered
+    // meshes and the dilation-1 butterfly. Tori interleave dateline
+    // VCs, fat trees and the multibutterfly have path diversity.
+    return topology == "mesh2d" || topology == "mesh3d" ||
+           topology == "butterfly";
+}
+
+NifdyConfig
+bestNifdyParams(const std::string &topology)
+{
+    NifdyConfig cfg;
+    if (topology == "mesh2d-adaptive") {
+        // Same character as the mesh; adaptivity adds path
+        // diversity, which NIFDY's reordering makes usable.
+        NifdyConfig c;
+        c.opt = 4;
+        c.pool = 4;
+        c.dialogs = 1;
+        c.window = 2;
+        return c;
+    }
+    if (topology == "mesh2d" || topology == "torus2d") {
+        // Low volume and low bisection: restrictive admission.
+        cfg.opt = 4;
+        cfg.pool = 4;
+        cfg.dialogs = 1;
+        cfg.window = 2;
+    } else if (topology == "mesh3d") {
+        cfg.opt = 4;
+        cfg.pool = 8;
+        cfg.dialogs = 1;
+        cfg.window = 2;
+    } else if (topology == "fattree") {
+        cfg.opt = 8;
+        cfg.pool = 8;
+        cfg.dialogs = 1;
+        cfg.window = 4;
+    } else if (topology == "fattree-saf") {
+        // Store-and-forward doubles the latency: larger window.
+        cfg.opt = 8;
+        cfg.pool = 8;
+        cfg.dialogs = 1;
+        cfg.window = 8;
+    } else if (topology == "cm5") {
+        // Twice the round trip of the full tree but much smaller
+        // volume and bisection: smaller bulk windows win.
+        cfg.opt = 4;
+        cfg.pool = 8;
+        cfg.dialogs = 1;
+        cfg.window = 4;
+    } else if (topology == "butterfly") {
+        // Three hops, no alternative paths: no bulk dialogs at all.
+        cfg.opt = 8;
+        cfg.pool = 8;
+        cfg.dialogs = 0;
+        cfg.window = 0;
+    } else if (topology == "multibutterfly") {
+        cfg.opt = 8;
+        cfg.pool = 8;
+        cfg.dialogs = 1;
+        cfg.window = 2;
+    } else {
+        fatal("no best parameters known for topology '%s'",
+              topology.c_str());
+    }
+    return cfg;
+}
+
+Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
+{
+    nifdyCfg_ =
+        cfg_.nifdyExplicit ? cfg_.nifdy : bestNifdyParams(cfg_.topology);
+
+    NetworkParams np = cfg_.net;
+    np.numNodes = cfg_.numNodes;
+    np.seed = cfg_.seed;
+    net_ = makeNetwork(cfg_.topology, np);
+    net_->addToKernel(kernel_);
+    kernel_.setWatchdogLimit(cfg_.watchdog);
+
+    barrier_ = std::make_unique<Barrier>(cfg_.numNodes,
+                                         cfg_.barrierLatency);
+
+    bool nifdyKind =
+        cfg_.nicKind == NicKind::nifdy || cfg_.nicKind == NicKind::lossy;
+    inOrder_ = topologyInOrder(cfg_.topology) ||
+               (nifdyKind && cfg_.exploitInOrder);
+
+    // The buffers-only control receives NIFDY's total buffer budget,
+    // redistributed with at least half in the arrivals queue.
+    int nifdyTotal = nifdyCfg_.pool + 2 +
+                     nifdyCfg_.dialogs * nifdyCfg_.window;
+    int bufFifo = std::max(2, nifdyTotal / 2);
+    int bufOut = std::max(1, nifdyTotal - bufFifo);
+
+    const NetworkParams &netp = net_->params();
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        NicParams nicp;
+        nicp.flitBytes = netp.flitBytes;
+        nicp.vcsPerClass = netp.vcsPerClass;
+        nicp.ejectDepth = netp.ejectDepth;
+        nicp.arrivalFifo = 2;
+        nicp.seed = cfg_.seed;
+
+        std::unique_ptr<Nic> nic;
+        switch (cfg_.nicKind) {
+          case NicKind::none:
+            nic = std::make_unique<PlainNic>(n, net_->nodePorts(n),
+                                             nicp, pool_);
+            break;
+          case NicKind::buffers:
+            nicp.arrivalFifo = bufFifo;
+            nic = std::make_unique<BufferedNic>(n, net_->nodePorts(n),
+                                                nicp, pool_, bufOut);
+            break;
+          case NicKind::nifdy:
+            nic = std::make_unique<NifdyNic>(n, net_->nodePorts(n),
+                                             nicp, nifdyCfg_, pool_);
+            break;
+          case NicKind::lossy:
+            nic = std::make_unique<LossyNifdyNic>(
+                n, net_->nodePorts(n), nicp, nifdyCfg_, cfg_.lossy,
+                pool_);
+            break;
+        }
+        nic->setKernel(&kernel_);
+        kernel_.add(nic.get(), "nic" + std::to_string(n));
+        nics_.push_back(std::move(nic));
+
+        auto proc = std::make_unique<Processor>(n, *nics_.back(),
+                                                cfg_.proc);
+        proc->setKernel(&kernel_);
+        kernel_.add(proc.get(), "proc" + std::to_string(n));
+        procs_.push_back(std::move(proc));
+
+        MessageParams mp = cfg_.msg;
+        mp.inOrder = inOrder_;
+        if (!nifdyKind)
+            mp.bulkThreshold = 0; // nobody to grant a dialog
+        msgs_.push_back(std::make_unique<MessageLayer>(*procs_.back(),
+                                                       pool_, mp));
+    }
+    workloads_.resize(cfg_.numNodes);
+}
+
+Experiment::~Experiment() = default;
+
+void
+Experiment::setWorkload(NodeId n, std::unique_ptr<Workload> w)
+{
+    procs_.at(n)->setWorkload(w.get());
+    workloads_.at(n) = std::move(w);
+}
+
+bool
+Experiment::allDone() const
+{
+    for (const auto &w : workloads_)
+        if (w && !w->done())
+            return false;
+    return true;
+}
+
+bool
+Experiment::drained() const
+{
+    for (const auto &nic : nics_)
+        if (!nic->idle())
+            return false;
+    return net_->quiescent() && pool_.live() == 0;
+}
+
+Cycle
+Experiment::runFor(Cycle cycles)
+{
+    return kernel_.run(cycles);
+}
+
+Cycle
+Experiment::runUntilDone(Cycle maxCycles)
+{
+    return kernel_.run(maxCycles, [this] { return allDone(); });
+}
+
+std::uint64_t
+Experiment::packetsDelivered() const
+{
+    std::uint64_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic->packetsDelivered();
+    return total;
+}
+
+std::uint64_t
+Experiment::wordsDelivered() const
+{
+    std::uint64_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic->wordsDelivered();
+    return total;
+}
+
+std::uint64_t
+Experiment::packetsSent() const
+{
+    std::uint64_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic->packetsSent();
+    return total;
+}
+
+Table
+Experiment::statsTable() const
+{
+    Table t("run statistics: " + net_->name() + " / " +
+            nicKindName(cfg_.nicKind));
+    t.header({"metric", "value"});
+    Cycle now = kernel_.now();
+    t.row({"cycles", Table::num(static_cast<long>(now))});
+    t.row({"packets sent / delivered",
+           Table::num(static_cast<long>(packetsSent())) + " / " +
+               Table::num(static_cast<long>(packetsDelivered()))});
+    t.row({"payload words delivered",
+           Table::num(static_cast<long>(wordsDelivered()))});
+    if (now > 0) {
+        t.row({"packets per kcycle",
+               Table::num(packetsDelivered() * 1000.0 / now, 1)});
+        t.row({"payload bytes per cycle",
+               Table::num(wordsDelivered() * double(bytesPerWord) /
+                              now,
+                          3)});
+    }
+
+    double latMean = 0;
+    std::uint64_t latMax = 0;
+    std::uint64_t latSamples = 0;
+    for (const auto &nic : nics_) {
+        const Distribution &d = nic->latency();
+        latMean += double(d.sum());
+        latMax = std::max(latMax, d.max());
+        latSamples += d.count();
+    }
+    if (latSamples > 0) {
+        t.row({"packet latency mean / max",
+               Table::num(latMean / latSamples, 1) + " / " +
+                   Table::num(static_cast<long>(latMax))});
+    }
+
+    if (cfg_.nicKind == NicKind::nifdy ||
+        cfg_.nicKind == NicKind::lossy) {
+        std::uint64_t acks = 0;
+        std::uint64_t piggy = 0;
+        std::uint64_t grants = 0;
+        std::uint64_t rejects = 0;
+        std::uint64_t bulk = 0;
+        for (const auto &nic : nics_) {
+            auto &nn = dynamic_cast<const NifdyNic &>(*nic);
+            acks += nn.acksSent();
+            piggy += nn.acksPiggybacked();
+            grants += nn.bulkGrants();
+            rejects += nn.bulkRejects();
+            bulk += nn.bulkPacketsSent();
+        }
+        t.row({"acks sent / piggybacked",
+               Table::num(static_cast<long>(acks)) + " / " +
+                   Table::num(static_cast<long>(piggy))});
+        t.row({"bulk grants / rejects",
+               Table::num(static_cast<long>(grants)) + " / " +
+                   Table::num(static_cast<long>(rejects))});
+        t.row({"bulk data packets",
+               Table::num(static_cast<long>(bulk))});
+    }
+    if (cfg_.nicKind == NicKind::lossy) {
+        std::uint64_t retx = 0;
+        std::uint64_t drops = 0;
+        std::uint64_t dups = 0;
+        for (const auto &nic : nics_) {
+            auto &ln = dynamic_cast<const LossyNifdyNic &>(*nic);
+            retx += ln.retransmissions();
+            drops += ln.packetsDropped();
+            dups += ln.duplicatesSeen();
+        }
+        t.row({"retransmissions / drops / dups",
+               Table::num(static_cast<long>(retx)) + " / " +
+                   Table::num(static_cast<long>(drops)) + " / " +
+                   Table::num(static_cast<long>(dups))});
+    }
+
+    t.row({"fabric flits switched",
+           Table::num(static_cast<long>(net_->totalFlitsSwitched()))});
+    std::uint64_t busy = 0;
+    for (const auto &p : procs_)
+        busy += p->cyclesBusy();
+    if (now > 0)
+        t.row({"processor busy fraction",
+               Table::num(double(busy) / (double(now) * numNodes()),
+                          3)});
+    t.row({"in-order delivery", inOrder_ ? "yes" : "no"});
+    return t;
+}
+
+} // namespace nifdy

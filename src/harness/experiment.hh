@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Experiment harness: assembles a network, one NIC + processor +
+ * message layer per node, and the workloads, exactly as the paper's
+ * evaluation does. Provides the three standard NIC configurations
+ * compared throughout Section 4 -- "none" (plain interface),
+ * "buffers" (the same total buffering as NIFDY, no protocol), and
+ * "nifdy" -- plus the Section 6.2 lossy variant, and the
+ * per-topology best NIFDY parameters of Table 3.
+ */
+
+#ifndef NIFDY_HARNESS_EXPERIMENT_HH
+#define NIFDY_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nic/nifdyparams.hh"
+#include "nic/plainnic.hh"
+#include "nic/retransmit.hh"
+#include "proc/workload.hh"
+#include "sim/table.hh"
+
+namespace nifdy
+{
+
+/** Which network interface each node gets. */
+enum class NicKind
+{
+    none,    //!< plain minimal interface
+    buffers, //!< NIFDY's buffer budget without the protocol
+    nifdy,   //!< the NIFDY unit
+    lossy    //!< NIFDY + Section 6.2 retransmission extension
+};
+
+const char *nicKindName(NicKind kind);
+
+/** Does the bare topology already deliver packets in order? */
+bool topologyInOrder(const std::string &topology);
+
+/** Table-3 style best NIFDY parameters for each topology. */
+NifdyConfig bestNifdyParams(const std::string &topology);
+
+struct ExperimentConfig
+{
+    std::string topology = "fattree";
+    int numNodes = 64;
+    NicKind nicKind = NicKind::nifdy;
+    /** NIFDY parameters; defaulted from bestNifdyParams() unless
+     * explicitly set (set nifdyExplicit). */
+    NifdyConfig nifdy;
+    bool nifdyExplicit = false;
+    LossyConfig lossy;
+    ProcParams proc;
+    MessageParams msg;
+    /** Let the software exploit in-order delivery when available. */
+    bool exploitInOrder = true;
+    Cycle barrierLatency = 100;
+    Cycle watchdog = 2000000;
+    std::uint64_t seed = 1;
+    /** Extra topology knobs (dims etc.); numNodes/seed overwritten. */
+    NetworkParams net;
+};
+
+class Experiment
+{
+  public:
+    explicit Experiment(const ExperimentConfig &cfg);
+    ~Experiment();
+    Experiment(const Experiment &) = delete;
+    Experiment &operator=(const Experiment &) = delete;
+
+    Kernel &kernel() { return kernel_; }
+    Network &network() { return *net_; }
+    Barrier &barrier() { return *barrier_; }
+    PacketPool &pool() { return pool_; }
+    int numNodes() const { return cfg_.numNodes; }
+    const ExperimentConfig &config() const { return cfg_; }
+    const NifdyConfig &nifdyConfig() const { return nifdyCfg_; }
+
+    Nic &nic(NodeId n) { return *nics_.at(n); }
+    Processor &proc(NodeId n) { return *procs_.at(n); }
+    MessageLayer &msg(NodeId n) { return *msgs_.at(n); }
+    Workload *workload(NodeId n) { return workloads_.at(n).get(); }
+
+    /** The message layer's effective delivery-order mode. */
+    bool inOrderDelivery() const { return inOrder_; }
+
+    /** Install a workload on node @p n (takes ownership). */
+    void setWorkload(NodeId n, std::unique_ptr<Workload> w);
+
+    /** All workloads report done(). */
+    bool allDone() const;
+
+    /** Nothing in flight anywhere (tests). */
+    bool drained() const;
+
+    /** Run a fixed number of cycles; returns cycles executed. */
+    Cycle runFor(Cycle cycles);
+
+    /** Run until allDone() or the cycle budget runs out. */
+    Cycle runUntilDone(Cycle maxCycles);
+
+    //! @name Aggregate delivery statistics (data packets)
+    //! @{
+    std::uint64_t packetsDelivered() const;
+    std::uint64_t wordsDelivered() const;
+    std::uint64_t packetsSent() const;
+
+    /**
+     * One-line-per-metric run summary: delivery counts, latency,
+     * protocol activity (acks, grants, retransmissions), fabric
+     * utilization, and processor busy fraction.
+     */
+    Table statsTable() const;
+    //! @}
+
+  private:
+    ExperimentConfig cfg_;
+    NifdyConfig nifdyCfg_;
+    bool inOrder_ = false;
+    Kernel kernel_;
+    PacketPool pool_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<Barrier> barrier_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+    std::vector<std::unique_ptr<MessageLayer>> msgs_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Radix-k butterfly and multibutterfly (indirect networks).
+ *
+ * Dilation 1 gives the classic butterfly: a unique path per
+ * source/destination pair (in-order delivery, no path diversity).
+ * Dilation 2 with randomized inter-stage wiring gives the
+ * multibutterfly: two candidate channels per routing direction,
+ * chosen adaptively, so packets can pass around faults and hot
+ * spots but may arrive out of order.
+ */
+
+#ifndef NIFDY_NET_BUTTERFLY_HH
+#define NIFDY_NET_BUTTERFLY_HH
+
+#include "net/topology.hh"
+
+namespace nifdy
+{
+
+class ButterflyNetwork;
+
+/** One butterfly stage router. */
+class ButterflyRouter : public Router
+{
+  public:
+    ButterflyRouter(int id, const RouterParams &rp,
+                    const ButterflyNetwork &net, int stage);
+
+  protected:
+    bool route(int inPort, Packet &pkt,
+               std::vector<int> &candidates) override;
+
+  private:
+    const ButterflyNetwork &net_;
+    int stage_;
+};
+
+class ButterflyNetwork : public Network
+{
+  public:
+    explicit ButterflyNetwork(const NetworkParams &params);
+
+    std::string name() const override;
+    int distance(NodeId a, NodeId b) const override;
+
+    int stages() const { return stages_; }
+    int radix() const { return params_.radix; }
+    int dilation() const { return params_.dilation; }
+
+    /** Destination digit consumed at @p stage (MSB first). */
+    int routeDigit(NodeId dst, int stage) const;
+
+  private:
+    void build();
+
+    int stages_ = 0;
+    int routersPerStage_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NET_BUTTERFLY_HH

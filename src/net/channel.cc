@@ -1,0 +1,79 @@
+#include "net/channel.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Channel::Channel(const ChannelParams &params) : params_(params)
+{
+    panic_if(params_.cyclesPerFlit < 1, "cyclesPerFlit must be >= 1");
+    panic_if(params_.latency < 0, "negative channel latency");
+}
+
+int
+Channel::classRate(NetClass cls) const
+{
+    (void)cls;
+    // Time slicing halves the bandwidth each class sees.
+    return params_.timeSliced ? params_.cyclesPerFlit * numNetClasses
+                              : params_.cyclesPerFlit;
+}
+
+bool
+Channel::canPush(NetClass cls, Cycle now) const
+{
+    int slot = params_.timeSliced ? static_cast<int>(cls) : 0;
+    return nextFree_[slot] <= now;
+}
+
+void
+Channel::push(const Flit &flit, Cycle now)
+{
+    panic_if(!flit.valid(), "pushing invalid flit");
+    NetClass cls = flit.pkt->netClass;
+    panic_if(!canPush(cls, now), "push on busy channel");
+    int slot = params_.timeSliced ? static_cast<int>(cls) : 0;
+    nextFree_[slot] = now + classRate(cls);
+    Cycle arrival = now + classRate(cls) + params_.latency;
+    flits_.emplace_back(arrival, flit);
+    ++totalFlits_;
+}
+
+bool
+Channel::hasFlit(Cycle now) const
+{
+    return !flits_.empty() && flits_.front().first <= now;
+}
+
+Flit
+Channel::pop(Cycle now)
+{
+    panic_if(!hasFlit(now), "pop on empty channel");
+    Flit f = flits_.front().second;
+    flits_.pop_front();
+    return f;
+}
+
+void
+Channel::pushCredit(int vc, Cycle now)
+{
+    credits_.emplace_back(now + 1, vc);
+}
+
+bool
+Channel::hasCredit(Cycle now) const
+{
+    return !credits_.empty() && credits_.front().first <= now;
+}
+
+int
+Channel::popCredit(Cycle now)
+{
+    panic_if(!hasCredit(now), "popCredit on empty credit queue");
+    int vc = credits_.front().second;
+    credits_.pop_front();
+    return vc;
+}
+
+} // namespace nifdy

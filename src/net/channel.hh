@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Point-to-point link with serialization, latency, and a reverse
+ * credit path.
+ *
+ * A Channel carries flits in one direction and buffer credits in the
+ * other. Bandwidth is expressed as cycles per flit (a 32-bit flit on
+ * the paper's 1-byte links takes 4 cycles). The two logical networks
+ * (request/reply) are either demand-multiplexed over the full
+ * physical bandwidth or strictly time-sliced so each class gets half
+ * the bandwidth regardless of the other's traffic (the CM-5 mode).
+ *
+ * Everything pushed during cycle t becomes visible to the consumer
+ * no earlier than cycle t+1, which makes intra-cycle component
+ * ordering immaterial.
+ */
+
+#ifndef NIFDY_NET_CHANNEL_HH
+#define NIFDY_NET_CHANNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+/** Static channel configuration. */
+struct ChannelParams
+{
+    /** Cycles to serialize one flit at full physical bandwidth. */
+    int cyclesPerFlit = 4;
+    /** Extra pipeline latency in cycles (wire/router stages). */
+    int latency = 1;
+    /**
+     * Strict time multiplexing of the two logical networks: each
+     * class gets an independent serializer at half bandwidth.
+     */
+    bool timeSliced = false;
+};
+
+/**
+ * One direction of a physical link, plus its reverse credit wires.
+ */
+class Channel
+{
+  public:
+    explicit Channel(const ChannelParams &params);
+
+    //! @name Sender side
+    //! @{
+    /** Can a flit of class @p cls start serializing this cycle? */
+    bool canPush(NetClass cls, Cycle now) const;
+    /** Begin transmitting @p flit; requires canPush(). */
+    void push(const Flit &flit, Cycle now);
+    //! @}
+
+    //! @name Receiver side
+    //! @{
+    /** Is a fully received flit available at cycle @p now? */
+    bool hasFlit(Cycle now) const;
+    /** Remove and return the next received flit. */
+    Flit pop(Cycle now);
+    //! @}
+
+    //! @name Credit path (receiver -> sender)
+    //! @{
+    /** Return one buffer-slot credit for virtual channel @p vc. */
+    void pushCredit(int vc, Cycle now);
+    /** Is a credit visible at cycle @p now? */
+    bool hasCredit(Cycle now) const;
+    /** Remove and return the next credit's VC index. */
+    int popCredit(Cycle now);
+    //! @}
+
+    /** Flits currently in flight (pushed, not yet popped). */
+    int inFlight() const { return static_cast<int>(flits_.size()); }
+
+    const ChannelParams &params() const { return params_; }
+
+    /** Total flits ever pushed (bandwidth accounting). */
+    std::uint64_t totalFlits() const { return totalFlits_; }
+
+  private:
+    int classRate(NetClass cls) const;
+
+    ChannelParams params_;
+    /** Serializer next-free time; [0] shared or per class. */
+    Cycle nextFree_[numNetClasses] = {0, 0};
+    std::deque<std::pair<Cycle, Flit>> flits_;
+    std::deque<std::pair<Cycle, int>> credits_;
+    std::uint64_t totalFlits_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NET_CHANNEL_HH

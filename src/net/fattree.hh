@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Generalized k-ary n-tree fat tree.
+ *
+ * The full 4-ary fat tree has four parents per router at every
+ * level; the CM-5 variant has two parents at the first two levels
+ * (halving bisection bandwidth) and strictly time-multiplexed
+ * request/reply networks on 8-bit physical links (so each logical
+ * network gets eight bits every two cycles, as in the paper).
+ * Upward routing is adaptive (most-credits, random tie-break);
+ * downward routing is deterministic by destination digits.
+ */
+
+#ifndef NIFDY_NET_FATTREE_HH
+#define NIFDY_NET_FATTREE_HH
+
+#include "net/topology.hh"
+
+namespace nifdy
+{
+
+class FatTreeNetwork;
+
+/** One fat-tree router at a given level. */
+class FatTreeRouter : public Router
+{
+  public:
+    FatTreeRouter(int id, const RouterParams &rp,
+                  const FatTreeNetwork &net, int level, long subtree,
+                  int upPorts);
+
+    int level() const { return level_; }
+
+  protected:
+    bool route(int inPort, Packet &pkt,
+               std::vector<int> &candidates) override;
+
+  private:
+    const FatTreeNetwork &net_;
+    int level_;     //!< 0 = leaf level
+    long subtree_;  //!< index of this router's level subtree
+    int upPorts_;   //!< number of parents (0 at the top level)
+};
+
+class FatTreeNetwork : public Network
+{
+  public:
+    explicit FatTreeNetwork(const NetworkParams &params);
+
+    std::string name() const override;
+    int distance(NodeId a, NodeId b) const override;
+
+    int arity() const { return k_; }
+    int levels() const { return levels_; }
+    /** Routers at level l. */
+    int routersAtLevel(int l) const { return routersPerLevel_[l]; }
+
+    /** Nodes covered by one level-l subtree. */
+    long subtreeSpan(int l) const;
+
+  private:
+    void build();
+
+    int k_ = 4;
+    int levels_ = 0;
+    std::vector<int> routersPerLevel_;  //!< R_l
+    std::vector<int> routersPerSubtree_; //!< S_l
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NET_FATTREE_HH

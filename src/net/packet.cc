@@ -1,0 +1,79 @@
+#include "net/packet.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+const char *
+packetTypeName(PacketType t)
+{
+    switch (t) {
+      case PacketType::scalar:
+        return "scalar";
+      case PacketType::bulk:
+        return "bulk";
+      case PacketType::ack:
+        return "ack";
+    }
+    return "?";
+}
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream os;
+    os << "pkt#" << id << " " << packetTypeName(type) << " " << src
+       << "->" << dst << " " << netClassName(netClass) << " "
+       << sizeBytes << "B";
+    if (type == PacketType::bulk)
+        os << " dlg=" << dialog << " seq=" << seq;
+    if (type == PacketType::ack) {
+        os << " ackSeq=" << ackSeq << " ackDlg=" << ackDialog;
+        if (ackGrantsBulk)
+            os << " grant";
+        if (ackRejectsBulk)
+            os << " reject";
+    }
+    if (bulkRequest)
+        os << " breq";
+    if (bulkExit)
+        os << " bexit";
+    return os.str();
+}
+
+PacketPool::~PacketPool()
+{
+    for (Packet *p : freelist_)
+        delete p;
+}
+
+Packet *
+PacketPool::alloc()
+{
+    Packet *p;
+    if (freelist_.empty()) {
+        p = new Packet();
+    } else {
+        p = freelist_.back();
+        freelist_.pop_back();
+        std::uint64_t keep = nextId_;
+        *p = Packet();
+        nextId_ = keep;
+    }
+    p->id = nextId_++;
+    ++allocated_;
+    return p;
+}
+
+void
+PacketPool::release(Packet *pkt)
+{
+    panic_if(pkt == nullptr, "PacketPool::release(nullptr)");
+    ++released_;
+    freelist_.push_back(pkt);
+}
+
+} // namespace nifdy

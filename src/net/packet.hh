@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Packets, flits, and the packet pool.
+ *
+ * Packets are the protocol-visible unit (what NIFDY admits, acks,
+ * and reorders). Flits are the unit of motion inside the network:
+ * one flit is one 32-bit word (the paper's flit size), and a flit
+ * crosses a link in flitBits/linkBits cycles.
+ */
+
+#ifndef NIFDY_NET_PACKET_HH
+#define NIFDY_NET_PACKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+/** Wire format categories. */
+enum class PacketType : std::uint8_t
+{
+    scalar, //!< ordinary data packet, individually acked
+    bulk,   //!< bulk-dialog data packet, windowed acks
+    ack     //!< NIFDY acknowledgment, consumed by the receiving NIC
+};
+
+const char *packetTypeName(PacketType t);
+
+/**
+ * A network packet. Header fields mirror the paper's Section 2
+ * protocol: every packet carries its source id (so the destination
+ * can return an ack); bulk packets replace the source id bits with a
+ * {sequence number, dialog number} pair.
+ */
+struct Packet
+{
+    /** Unique id, for tracking and debugging. */
+    std::uint64_t id = 0;
+
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    NetClass netClass = NetClass::request;
+    PacketType type = PacketType::scalar;
+
+    /** Total on-wire size in bytes, header included. */
+    int sizeBytes = 0;
+
+    //! @name NIFDY protocol header bits (Section 2.1.2, Section 6)
+    //! @{
+    bool bulkRequest = false; //!< sender asks for a bulk dialog
+    bool bulkExit = false;    //!< last packet of a bulk dialog
+    bool noAck = false;       //!< Section 6.1: no ack required
+    bool expectsReply = false; //!< Section 6.1: hold my ack for the
+                               //!< application reply to carry
+    bool piggyAck = false;     //!< Section 6.1: this data packet
+                               //!< carries an ack (fields below)
+    bool dupBit = false;      //!< Section 6.2: retransmission parity
+    std::int16_t dialog = -1; //!< bulk dialog number at the receiver
+    std::int16_t seq = -1;    //!< bulk sequence number (mod 2W space)
+    //! @}
+
+    //! @name Ack payload (valid when type == ack)
+    //! @{
+    bool ackGrantsBulk = false;  //!< receiver grants a bulk dialog
+    bool ackRejectsBulk = false; //!< receiver refuses a bulk dialog
+    std::int16_t ackDialog = -1; //!< dialog this (bulk) ack refers to
+    std::int16_t ackSeq = -1;    //!< cumulative sequence acked
+    std::int16_t ackWindow = 0;  //!< window size granted with a dialog
+    /**
+     * Cumulative count of bulk packets delivered (monotone form of
+     * ackSeq). Hardware would reconstruct this from the W-bounded
+     * sequence number; carrying the monotone count keeps the model
+     * robust against ack reordering on multipath networks.
+     */
+    std::int64_t ackTotal = -1;
+    //! @}
+
+    //! @name Protocol-internal flags
+    //! @{
+    bool ctrlOnly = false;  //!< consumed by the NIC, never delivered
+    bool ackIssued = false; //!< an ack for this packet went out
+    /**
+     * Monotone bulk send index (seq is its mod-2W compression on
+     * the wire). The protocol logic works on the monotone form so
+     * that arbitrarily late retransmissions can never alias a later
+     * window epoch; real hardware gets the same effect from its
+     * bounded-delay assumptions.
+     */
+    std::int64_t bulkIndex = -1;
+    /**
+     * Monotone per-(source, destination) scalar index for the
+     * Section 6.2 duplicate filter; the header's dupBit is its
+     * 1-bit compression.
+     */
+    std::int64_t scalarIndex = -1;
+    //! @}
+
+    //! @name Message-layer bookkeeping (not on the wire)
+    //! @{
+    std::uint32_t msgId = 0; //!< which application message
+    std::int32_t msgSeq = 0; //!< packet index within the message
+    std::int32_t msgLen = 1; //!< packets in the message
+    std::int32_t payloadWords = 0; //!< useful payload carried
+    //! @}
+
+    //! @name Instrumentation
+    //! @{
+    Cycle createdAt = 0;  //!< handed to the NIC by the processor
+    Cycle injectedAt = 0; //!< first flit entered the network
+    /** Piggyback scheme: queued acks wait until this cycle for a
+     * reply to ride on before going out standalone. */
+    Cycle holdUntil = 0;
+    //! @}
+
+    /** Topology scratch (e.g. torus dateline state); reset on inject. */
+    std::uint32_t routeScratch = 0;
+
+    /** Number of flits this packet serializes into. */
+    int numFlits(int flitBytes) const
+    {
+        return (sizeBytes + flitBytes - 1) / flitBytes;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * One flit in motion. Flits reference their packet; the packet is
+ * released back to the pool by whoever consumes the tail flit at the
+ * final destination.
+ */
+struct Flit
+{
+    Packet *pkt = nullptr;
+    bool head = false;
+    bool tail = false;
+    /** Virtual channel on the link currently being traversed. */
+    std::int8_t vc = 0;
+
+    bool valid() const { return pkt != nullptr; }
+};
+
+/**
+ * Freelist allocator for packets. A simulation allocates all its
+ * packets from one pool; conservation (allocated == released at the
+ * end) is checked in tests.
+ */
+class PacketPool
+{
+  public:
+    PacketPool() = default;
+    ~PacketPool();
+    PacketPool(const PacketPool &) = delete;
+    PacketPool &operator=(const PacketPool &) = delete;
+
+    /** Allocate a zeroed packet with a fresh id. */
+    Packet *alloc();
+
+    /** Return a packet to the freelist. */
+    void release(Packet *pkt);
+
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t released() const { return released_; }
+    /** Packets currently alive (allocated - released). */
+    std::uint64_t live() const { return allocated_ - released_; }
+
+  private:
+    std::vector<Packet *> freelist_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t released_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NET_PACKET_HH

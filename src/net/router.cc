@@ -1,0 +1,256 @@
+#include "net/router.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Router::Router(int id, const RouterParams &params)
+    : rng_(params.seed, 0x7000 + id), id_(id), params_(params),
+      numVCs_(numNetClasses * params.vcsPerClass)
+{
+    panic_if(params_.vcsPerClass < 1, "router needs >= 1 VC per class");
+    panic_if(params_.bufDepth < 1, "router needs >= 1 flit buffer");
+}
+
+int
+Router::addInPort(Channel *ch)
+{
+    InPort p;
+    p.ch = ch;
+    p.vcs.resize(numVCs_);
+    ins_.push_back(std::move(p));
+    return static_cast<int>(ins_.size()) - 1;
+}
+
+int
+Router::addOutPort(Channel *ch, int depth)
+{
+    OutPort p;
+    p.ch = ch;
+    p.credits.assign(numVCs_, depth);
+    p.owner.assign(numVCs_, -1);
+    outs_.push_back(std::move(p));
+    return static_cast<int>(outs_.size()) - 1;
+}
+
+int
+Router::creditsAvailable(int outPort, NetClass cls) const
+{
+    const OutPort &op = outs_[outPort];
+    int base = static_cast<int>(cls) * params_.vcsPerClass;
+    int total = 0;
+    for (int v = 0; v < params_.vcsPerClass; ++v)
+        total += op.credits[base + v];
+    return total;
+}
+
+int
+Router::bufferCapacityFlits() const
+{
+    return static_cast<int>(ins_.size()) * numVCs_ * params_.bufDepth;
+}
+
+unsigned
+Router::vcMaskForHop(int outPort, Packet &pkt)
+{
+    (void)outPort;
+    (void)pkt;
+    return ~0u;
+}
+
+void
+Router::onAllocate(Packet &pkt, int outPort, int subVc)
+{
+    (void)pkt;
+    (void)outPort;
+    (void)subVc;
+}
+
+void
+Router::step(Cycle now)
+{
+    // Absorb returned credits.
+    for (OutPort &op : outs_) {
+        while (op.ch->hasCredit(now)) {
+            int vc = op.ch->popCredit(now);
+            ++op.credits[vc];
+            panic_if(op.credits[vc] > params_.bufDepth * 8,
+                     "credit leak on router %d", id_);
+        }
+    }
+
+    // Absorb arriving flits into their VC buffers.
+    for (InPort &ip : ins_) {
+        while (ip.ch->hasFlit(now)) {
+            Flit f = ip.ch->pop(now);
+            VirtChan &vc = ip.vcs[f.vc];
+            vc.buf.push_back(f);
+            ++bufferedFlits_;
+            panic_if(static_cast<int>(vc.buf.size()) >
+                         params_.bufDepth,
+                     "buffer overflow on router %d vc %d", id_, f.vc);
+        }
+    }
+
+    if (bufferedFlits_ == 0)
+        return;
+
+    // Route computation + VC allocation for fresh head flits.
+    for (int p = 0; p < static_cast<int>(ins_.size()); ++p) {
+        for (int v = 0; v < numVCs_; ++v) {
+            VirtChan &vc = ins_[p].vcs[v];
+            if (!vc.active && !vc.buf.empty() && vc.buf.front().head)
+                tryAllocate(p, v, now);
+        }
+    }
+
+    switchPass(now);
+}
+
+bool
+Router::tryAllocate(int inPort, int vcIdx, Cycle now)
+{
+    (void)now;
+    VirtChan &vc = ins_[inPort].vcs[vcIdx];
+    Packet &pkt = *vc.buf.front().pkt;
+
+    candidateScratch_.clear();
+    bool adaptive = route(inPort, pkt, candidateScratch_);
+    panic_if(candidateScratch_.empty(),
+             "router %d: no route for %s", id_, pkt.toString().c_str());
+
+    NetClass cls = pkt.netClass;
+    int base = static_cast<int>(cls) * params_.vcsPerClass;
+
+    int bestPort = -1;
+    int bestVC = -1;
+    int bestScore = -1;
+    int ties = 0;
+    for (int op : candidateScratch_) {
+        OutPort &out = outs_[op];
+        unsigned mask = vcMaskForHop(op, pkt);
+        // Find a free output VC within the class, preferring one
+        // that has credits right now.
+        int freeVC = -1;
+        bool freeHasCredit = false;
+        for (int s = 0; s < params_.vcsPerClass; ++s) {
+            if (!(mask & (1u << s)))
+                continue;
+            int idx = base + s;
+            if (out.owner[idx] != -1)
+                continue;
+            bool has = out.credits[idx] > 0;
+            if (params_.allocNeedsCredit && !has)
+                continue;
+            if (freeVC == -1 || (has && !freeHasCredit)) {
+                freeVC = idx;
+                freeHasCredit = has;
+            }
+        }
+        if (freeVC == -1)
+            continue;
+        int score = freeHasCredit ? 1 + creditsAvailable(op, cls) : 0;
+        if (!adaptive) {
+            // First allocatable candidate wins outright.
+            bestPort = op;
+            bestVC = freeVC;
+            break;
+        }
+        if (score > bestScore) {
+            bestScore = score;
+            bestPort = op;
+            bestVC = freeVC;
+            ties = 1;
+        } else if (score == bestScore && ties > 0) {
+            // Reservoir-sample among equally good candidates.
+            ++ties;
+            if (rng_.nextBounded(ties) == 0) {
+                bestPort = op;
+                bestVC = freeVC;
+            }
+        }
+    }
+
+    if (bestPort == -1)
+        return false;
+
+    vc.active = true;
+    vc.outPort = bestPort;
+    vc.outVC = bestVC;
+    outs_[bestPort].owner[bestVC] = inVcId(inPort, vcIdx);
+    outs_[bestPort].reqs.push_back(inVcId(inPort, vcIdx));
+    onAllocate(pkt, bestPort, bestVC % params_.vcsPerClass);
+    return true;
+}
+
+void
+Router::switchPass(Cycle now)
+{
+    // Input-port crossbar constraint: one departure per input port
+    // per cycle.
+    static thread_local std::vector<char> inUsed;
+    inUsed.assign(ins_.size(), 0);
+
+    for (int op = 0; op < static_cast<int>(outs_.size()); ++op) {
+        OutPort &out = outs_[op];
+        int nReqs = static_cast<int>(out.reqs.size());
+        if (nReqs == 0)
+            continue;
+        // Round-robin over the input VCs routed to this output.
+        for (int k = 0; k < nReqs; ++k) {
+            int slot = (out.rr + k) % nReqs;
+            int ivc = out.reqs[slot];
+            int p = ivc / numVCs_;
+            int v = ivc % numVCs_;
+            if (inUsed[p])
+                continue;
+            VirtChan &vc = ins_[p].vcs[v];
+            if (vc.buf.empty())
+                continue;
+            if (out.credits[vc.outVC] <= 0)
+                continue;
+            Flit &front = vc.buf.front();
+            NetClass cls = front.pkt->netClass;
+            if (!out.ch->canPush(cls, now))
+                continue;
+            if (params_.storeAndForward && front.head) {
+                // The whole packet must be buffered before the head
+                // may leave.
+                bool tailHere = false;
+                for (const Flit &f : vc.buf) {
+                    if (f.tail) {
+                        tailHere = true;
+                        break;
+                    }
+                }
+                if (!tailHere)
+                    continue;
+            }
+
+            Flit f = front;
+            vc.buf.pop_front();
+            --bufferedFlits_;
+            f.vc = static_cast<std::int8_t>(vc.outVC);
+            out.ch->push(f, now);
+            --out.credits[vc.outVC];
+            // Return the freed input buffer slot upstream.
+            ins_[p].ch->pushCredit(v, now);
+            ++flitsSwitched_;
+            if (kernel_)
+                kernel_->noteActivity();
+            if (f.tail) {
+                out.owner[vc.outVC] = -1;
+                vc.active = false;
+                vc.outPort = -1;
+                vc.outVC = -1;
+                out.reqs.erase(out.reqs.begin() + slot);
+            }
+            inUsed[p] = 1;
+            out.rr = slot + 1;
+            break; // this output port is busy now
+        }
+    }
+}
+
+} // namespace nifdy

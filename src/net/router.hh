@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Input-queued virtual-channel router.
+ *
+ * The router implements wormhole / virtual cut-through switching
+ * with credit-based link-level flow control, per-VC buffers (default
+ * depth 2 flits, per the paper), per-packet route computation at the
+ * head flit, and round-robin switch arbitration. Topologies derive
+ * from Router and provide route(): the list of candidate output
+ * ports in preference order, optionally adaptive (the router then
+ * prefers the candidate with the most downstream credits, breaking
+ * ties pseudo-randomly).
+ *
+ * The two logical networks (request/reply) are disjoint VC classes:
+ * a packet only ever occupies VCs of its own class.
+ */
+
+#ifndef NIFDY_NET_ROUTER_HH
+#define NIFDY_NET_ROUTER_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/channel.hh"
+#include "sim/kernel.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+/** Static router configuration. */
+struct RouterParams
+{
+    /** Virtual channels per logical network class. */
+    int vcsPerClass = 1;
+    /** Flit buffer depth per VC. */
+    int bufDepth = 2;
+    /**
+     * Store-and-forward: a packet may leave only after its tail flit
+     * has been buffered (requires bufDepth >= packet flits).
+     */
+    bool storeAndForward = false;
+    /**
+     * Only allocate an output VC that has a credit right now, so a
+     * blocked head keeps its choice open each cycle. Required for
+     * Duato-style adaptive routing: a packet waiting on adaptive
+     * channels must remain able to take the escape channel the
+     * moment it frees.
+     */
+    bool allocNeedsCredit = false;
+    /** Seed for arbitration tie-breaking. */
+    std::uint64_t seed = 1;
+};
+
+class Router : public Steppable
+{
+  public:
+    Router(int id, const RouterParams &params);
+    ~Router() override = default;
+
+    /** Attach an incoming channel; returns the input port index. */
+    int addInPort(Channel *ch);
+
+    /**
+     * Attach an outgoing channel whose consumer has @p depth flit
+     * buffers per VC; returns the output port index.
+     */
+    int addOutPort(Channel *ch, int depth);
+
+    void step(Cycle now) override;
+
+    /** Router id (topology-assigned, for debugging). */
+    int id() const { return id_; }
+
+    int numInPorts() const { return static_cast<int>(ins_.size()); }
+    int numOutPorts() const { return static_cast<int>(outs_.size()); }
+    int numVCs() const { return numVCs_; }
+    const RouterParams &params() const { return params_; }
+
+    /** Total credits currently available on an output port. */
+    int creditsAvailable(int outPort, NetClass cls) const;
+
+    /** Buffered flit count (for tests and volume accounting). */
+    int bufferedFlits() const { return bufferedFlits_; }
+
+    /** Flits forwarded through the switch in total. */
+    std::uint64_t flitsSwitched() const { return flitsSwitched_; }
+
+    /** Attach the kernel for activity reporting. */
+    void setKernel(Kernel *k) { kernel_ = k; }
+
+    /** Total buffer capacity in flits (volume accounting). */
+    int bufferCapacityFlits() const;
+
+  protected:
+    /**
+     * Compute candidate output ports for @p pkt arriving on
+     * @p inPort, in preference order.
+     *
+     * @return true when the choice is adaptive (the router should
+     * pick the candidate with the most credits), false when the
+     * first allocatable candidate must be used.
+     */
+    virtual bool route(int inPort, Packet &pkt,
+                       std::vector<int> &candidates) = 0;
+
+    /**
+     * Bitmask of sub-VCs (within the packet's class) usable on
+     * @p outPort. Default: all. The torus restricts to the dateline
+     * VC; the adaptive mesh restricts non-minimal-order ports to
+     * the adaptive VC.
+     */
+    virtual unsigned vcMaskForHop(int outPort, Packet &pkt);
+
+    /** Hook fired when a head flit wins (outPort, sub-VC). */
+    virtual void onAllocate(Packet &pkt, int outPort, int subVc);
+
+    Rng rng_;
+
+  private:
+    struct VirtChan
+    {
+        std::deque<Flit> buf;
+        bool active = false; //!< owns a route for the packet in buf
+        int outPort = -1;
+        int outVC = -1;
+    };
+
+    struct InPort
+    {
+        Channel *ch = nullptr;
+        std::vector<VirtChan> vcs;
+    };
+
+    struct OutPort
+    {
+        Channel *ch = nullptr;
+        std::vector<int> credits; //!< per downstream VC
+        std::vector<int> owner;   //!< per VC: owning input VC id or -1
+        std::vector<int> reqs;    //!< input VCs currently routed here
+        int rr = 0;               //!< round-robin arbitration pointer
+    };
+
+    /** Flat id of (inPort, vc). */
+    int inVcId(int port, int vc) const { return port * numVCs_ + vc; }
+
+    bool tryAllocate(int inPort, int vc, Cycle now);
+    void switchPass(Cycle now);
+
+    int id_;
+    RouterParams params_;
+    int numVCs_;
+    std::vector<InPort> ins_;
+    std::vector<OutPort> outs_;
+    int bufferedFlits_ = 0;
+    std::uint64_t flitsSwitched_ = 0;
+    Kernel *kernel_ = nullptr;
+    std::vector<int> candidateScratch_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NET_ROUTER_HH

@@ -1,0 +1,188 @@
+#include "nic/nic.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Nic::Nic(NodeId node, const Network::NodePorts &ports,
+         const NicParams &params, PacketPool &pool)
+    : node_(node), params_(params), pool_(pool), ports_(ports),
+      latency_("latency")
+{
+    panic_if(!ports_.inject || !ports_.eject, "NIC lacks attach ports");
+    injectCredits_.assign(numNetClasses * params_.vcsPerClass,
+                          ports_.injectDepth);
+    inStreams_.resize(numNetClasses * params_.vcsPerClass);
+}
+
+Packet *
+Nic::peekReceive()
+{
+    return arrivals_.empty() ? nullptr : arrivals_.front();
+}
+
+Packet *
+Nic::pollReceive(Cycle now)
+{
+    if (arrivals_.empty())
+        return nullptr;
+    Packet *pkt = arrivals_.front();
+    arrivals_.pop_front();
+    onProcessorAccept(pkt, now);
+    return pkt;
+}
+
+bool
+Nic::transitIdle() const
+{
+    return pumpsIdle();
+}
+
+bool
+Nic::pumpsIdle() const
+{
+    for (const OutStream &os : outStream_)
+        if (os.pkt)
+            return false;
+    for (const InStream &is : inStreams_)
+        if (!is.buf.empty() || is.assembling)
+            return false;
+    return true;
+}
+
+void
+Nic::step(Cycle now)
+{
+    pumpEject(now);
+    pumpInject(now);
+}
+
+void
+Nic::onPacketHead(Packet *pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+}
+
+void
+Nic::onProcessorAccept(Packet *pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+}
+
+void
+Nic::consumeReservation()
+{
+    panic_if(reservedArrivals_ <= 0,
+             "reservation underflow on node %d", node_);
+    --reservedArrivals_;
+}
+
+void
+Nic::pushArrival(Packet *pkt, Cycle now)
+{
+    panic_if(static_cast<int>(arrivals_.size()) >= params_.arrivalFifo,
+             "arrivals FIFO overflow on node %d", node_);
+    arrivals_.push_back(pkt);
+    ++packetsDelivered_;
+    wordsDelivered_ += pkt->payloadWords;
+    latency_.sample(now - pkt->createdAt);
+}
+
+void
+Nic::pumpInject(Cycle now)
+{
+    Channel *ch = ports_.inject;
+    while (ch->hasCredit(now))
+        ++injectCredits_[ch->popCredit(now)];
+
+    for (int k = 0; k < numNetClasses; ++k) {
+        int cls = (injectRR_ + k) % numNetClasses;
+        NetClass nc = static_cast<NetClass>(cls);
+        if (!ch->canPush(nc, now))
+            continue;
+        int vc = cls * params_.vcsPerClass;
+        if (injectCredits_[vc] <= 0)
+            continue;
+        OutStream &os = outStream_[cls];
+        if (!os.pkt) {
+            os.pkt = nextToInject(nc, now);
+            if (!os.pkt)
+                continue;
+            panic_if(os.pkt->netClass != nc,
+                     "nextToInject returned wrong class");
+            os.totalFlits = os.pkt->numFlits(params_.flitBytes);
+            os.flitsLeft = os.totalFlits;
+        }
+        Flit f;
+        f.pkt = os.pkt;
+        f.head = os.flitsLeft == os.totalFlits;
+        f.tail = os.flitsLeft == 1;
+        f.vc = static_cast<std::int8_t>(vc);
+        if (f.head) {
+            os.pkt->injectedAt = now;
+            if (os.pkt->type != PacketType::ack &&
+                !os.pkt->ctrlOnly) {
+                ++packetsSent_;
+                if (injectBoard_)
+                    ++(*injectBoard_)[os.pkt->dst];
+            }
+        }
+        ch->push(f, now);
+        --injectCredits_[vc];
+        --os.flitsLeft;
+        noteActivity();
+        if (f.tail)
+            os = OutStream();
+    }
+    injectRR_ = (injectRR_ + 1) % numNetClasses;
+}
+
+void
+Nic::pumpEject(Cycle now)
+{
+    Channel *ch = ports_.eject;
+    while (ch->hasFlit(now)) {
+        Flit f = ch->pop(now);
+        InStream &is = inStreams_.at(f.vc);
+        is.buf.push_back(f);
+        panic_if(static_cast<int>(is.buf.size()) > params_.ejectDepth,
+                 "NIC eject buffer overflow on node %d", node_);
+    }
+
+    for (std::size_t vc = 0; vc < inStreams_.size(); ++vc) {
+        InStream &is = inStreams_[vc];
+        while (!is.buf.empty()) {
+            Flit f = is.buf.front();
+            if (f.head) {
+                panic_if(is.assembling,
+                         "head flit while assembling on node %d",
+                         node_);
+                if (!canAccept(*f.pkt))
+                    break; // backpressure: withhold credits
+                is.assembling = f.pkt;
+                is.flitsSeen = 0;
+                onPacketHead(f.pkt, now);
+            } else {
+                panic_if(!is.assembling,
+                         "body flit with no packet on node %d", node_);
+            }
+            is.buf.pop_front();
+            ++is.flitsSeen;
+            ch->pushCredit(static_cast<int>(vc), now);
+            noteActivity();
+            if (f.tail) {
+                Packet *pkt = is.assembling;
+                panic_if(is.flitsSeen !=
+                             pkt->numFlits(params_.flitBytes),
+                         "flit count mismatch on node %d", node_);
+                is.assembling = nullptr;
+                onPacketDelivered(pkt, now);
+            }
+        }
+    }
+}
+
+} // namespace nifdy

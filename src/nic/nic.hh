@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Abstract network interface.
+ *
+ * A Nic sits between one processor and one network attachment
+ * point. The base class owns the flit-level machinery that every
+ * NIC variant shares -- serializing outgoing packets onto the
+ * injection channel (honoring router-side credits) and reassembling
+ * incoming flits per virtual channel -- and defers protocol policy
+ * (which packet to inject next, what to do with a delivered packet)
+ * to subclasses: PlainNic, BufferedNic, NifdyNic.
+ */
+
+#ifndef NIFDY_NIC_NIC_HH
+#define NIFDY_NIC_NIC_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/topology.hh"
+#include "sim/kernel.hh"
+#include "sim/stats.hh"
+
+namespace nifdy
+{
+
+/** Parameters shared by all NIC variants. */
+struct NicParams
+{
+    int flitBytes = 4;
+    /** Arrivals FIFO capacity, in packets. */
+    int arrivalFifo = 2;
+    /** VCs per class at the attached router (matches the network). */
+    int vcsPerClass = 1;
+    /** Per-VC flit buffer depth on the ejection side. */
+    int ejectDepth = 2;
+    std::uint64_t seed = 1;
+};
+
+class Nic : public Steppable
+{
+  public:
+    Nic(NodeId node, const Network::NodePorts &ports,
+        const NicParams &params, PacketPool &pool);
+    ~Nic() override = default;
+
+    //! @name Processor-side API
+    //! @{
+    /** Can the processor hand over another outgoing packet? */
+    virtual bool canSend(const Packet &pkt) const = 0;
+
+    /** Hand an outgoing packet to the NIC. Requires canSend(). */
+    virtual void send(Packet *pkt, Cycle now) = 0;
+
+    /** Next received packet without removing it (nullptr if none). */
+    Packet *peekReceive();
+
+    /** Pop the next received packet (nullptr if none). */
+    Packet *pollReceive(Cycle now);
+
+    /** Packets waiting in the arrivals FIFO. */
+    int arrivalsPending() const
+    {
+        return static_cast<int>(arrivals_.size());
+    }
+
+    /**
+     * True when the NIC holds no outgoing or in-flight state and
+     * nothing waits in the arrivals FIFO.
+     */
+    bool idle() const { return arrivals_.empty() && transitIdle(); }
+
+    /**
+     * True when nothing is queued for sending or moving through
+     * the NIC (packets parked in the arrivals FIFO don't count:
+     * they are waiting for the processor, not for the network).
+     */
+    virtual bool transitIdle() const;
+
+    /**
+     * Optional per-destination injection counters (Figure-5 style
+     * instrumentation): when set, the NIC increments slot [dst] as
+     * each data packet's head flit enters the network.
+     */
+    void setInjectBoard(std::vector<std::uint32_t> *board)
+    {
+        injectBoard_ = board;
+    }
+    //! @}
+
+    void step(Cycle now) override;
+
+    NodeId node() const { return node_; }
+    void setKernel(Kernel *k) { kernel_ = k; }
+
+    //! @name Delivery statistics (data packets only)
+    //! @{
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t wordsDelivered() const { return wordsDelivered_; }
+    std::uint64_t packetsSent() const { return packetsSent_; }
+    const Distribution &latency() const { return latency_; }
+    //! @}
+
+  protected:
+    //! @name Protocol hooks for subclasses
+    //! @{
+    /**
+     * Pick the next packet to start injecting for class @p cls, or
+     * nullptr. Ownership passes to the injection machinery; the
+     * packet leaves the subclass's queues.
+     */
+    virtual Packet *nextToInject(NetClass cls, Cycle now) = 0;
+
+    /**
+     * May the ejection path start accepting this packet (reserve
+     * buffer space)? Called once per packet at its head flit.
+     */
+    virtual bool canAccept(const Packet &pkt) = 0;
+
+    /** Head flit of @p pkt accepted (early-ack hook). */
+    virtual void onPacketHead(Packet *pkt, Cycle now);
+
+    /**
+     * Full packet reassembled. The subclass routes it: arrivals
+     * FIFO, reorder buffer, or (for acks) internal consumption.
+     */
+    virtual void onPacketDelivered(Packet *pkt, Cycle now) = 0;
+
+    /** The processor popped @p pkt from the arrivals FIFO. */
+    virtual void onProcessorAccept(Packet *pkt, Cycle now);
+    //! @}
+
+    /** Queue a fully reassembled data packet for the processor. */
+    void pushArrival(Packet *pkt, Cycle now);
+
+    /**
+     * FIFO occupancy including reserved slots. With multiple
+     * ejection VCs, several packets can be in reassembly at once;
+     * canAccept() must reserve the slot it promises (see
+     * reserveArrival()), otherwise two heads could race for the
+     * last one.
+     */
+    bool arrivalsFull() const
+    {
+        return static_cast<int>(arrivals_.size()) + reservedArrivals_ >=
+               params_.arrivalFifo;
+    }
+
+    /** Claim a future FIFO slot for a packet being accepted. */
+    void reserveArrival() { ++reservedArrivals_; }
+
+    /** Release a claim (packet delivered into the FIFO or dropped). */
+    void consumeReservation();
+
+    /** Flits still being serialized or reassembled? */
+    bool pumpsIdle() const;
+
+    void noteActivity()
+    {
+        if (kernel_)
+            kernel_->noteActivity();
+    }
+
+    NodeId node_;
+    NicParams params_;
+    PacketPool &pool_;
+
+  private:
+    void pumpInject(Cycle now);
+    void pumpEject(Cycle now);
+
+    Network::NodePorts ports_;
+    Kernel *kernel_ = nullptr;
+
+    //! @name Injection state
+    //! @{
+    std::vector<int> injectCredits_; //!< per router input VC
+    struct OutStream
+    {
+        Packet *pkt = nullptr;
+        int flitsLeft = 0;
+        int totalFlits = 0;
+    };
+    OutStream outStream_[numNetClasses];
+    int injectRR_ = 0; //!< class round-robin pointer
+    //! @}
+
+    //! @name Ejection state
+    //! @{
+    struct InStream
+    {
+        std::deque<Flit> buf;    //!< raw flits, credit-bounded
+        Packet *assembling = nullptr;
+        int flitsSeen = 0;
+    };
+    std::vector<InStream> inStreams_; //!< per ejection VC
+    std::deque<Packet *> arrivals_;
+    int reservedArrivals_ = 0;
+    std::vector<std::uint32_t> *injectBoard_ = nullptr;
+    //! @}
+
+    //! @name Stats
+    //! @{
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t wordsDelivered_ = 0;
+    std::uint64_t packetsSent_ = 0;
+    Distribution latency_;
+    //! @}
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NIC_NIC_HH

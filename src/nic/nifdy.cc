@@ -1,0 +1,577 @@
+#include "nic/nifdy.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+NifdyNic::NifdyNic(NodeId node, const Network::NodePorts &ports,
+                   const NicParams &params, const NifdyConfig &cfg,
+                   PacketPool &pool)
+    : Nic(node, ports, params, pool), cfg_(cfg)
+{
+    fatal_if(cfg_.opt < 1, "NIFDY needs O >= 1");
+    fatal_if(cfg_.pool < 1, "NIFDY needs B >= 1");
+    fatal_if(cfg_.dialogs < 0 || cfg_.window < 0,
+             "negative bulk parameters");
+    sendPool_.reserve(cfg_.pool);
+    opt_.reserve(cfg_.opt);
+    in_.resize(std::max(cfg_.dialogs, 0));
+}
+
+bool
+NifdyNic::canSend(const Packet &pkt) const
+{
+    (void)pkt;
+    return static_cast<int>(sendPool_.size()) < cfg_.pool;
+}
+
+void
+NifdyNic::send(Packet *pkt, Cycle now)
+{
+    panic_if(!canSend(*pkt), "send on full NIFDY pool, node %d", node_);
+    pkt->createdAt = now;
+    sendPool_.push_back({pkt, poolOrder_++});
+}
+
+int
+NifdyNic::activeInDialogs() const
+{
+    int n = 0;
+    for (const InDialog &d : in_)
+        n += d.active ? 1 : 0;
+    return n;
+}
+
+bool
+NifdyNic::transitIdle() const
+{
+    if (!sendPool_.empty() || !ackQueue_.empty() || !opt_.empty())
+        return false;
+    if (out_.active || out_.requested)
+        return false;
+    for (const InDialog &d : in_)
+        if (d.active)
+            return false;
+    return Nic::transitIdle();
+}
+
+bool
+NifdyNic::eligibleScalar(const PoolEntry &e, std::size_t idx) const
+{
+    const Packet &pkt = *e.pkt;
+    // Section 6.1: no-ack packets bypass the protocol entirely.
+    if (pkt.noAck)
+        return true;
+    // Per-destination FIFO order: only the oldest queued packet for
+    // this destination may go (the rank/eligibility unit).
+    for (std::size_t j = 0; j < idx; ++j)
+        if (sendPool_[j].pkt->dst == pkt.dst)
+            return false;
+    if (out_.active && pkt.dst == out_.peer) {
+        if (pkt.netClass != out_.cls)
+            return false; // keep the dialog's ordering domain clean
+        if (out_.exitSent || out_.closePending)
+            return false; // dialog draining; wait for close
+        return out_.unacked() < out_.window;
+    }
+    // Scalar: one outstanding packet per destination, bounded by O.
+    for (NodeId d : opt_)
+        if (d == pkt.dst)
+            return false;
+    return static_cast<int>(opt_.size()) < cfg_.opt;
+}
+
+Packet *
+NifdyNic::takeFromPool(std::size_t idx, Cycle now)
+{
+    Packet *pkt = sendPool_[idx].pkt;
+    sendPool_.erase(sendPool_.begin() + idx);
+
+    if (pkt->noAck) {
+        pkt->bulkRequest = false;
+        pkt->bulkExit = false;
+        onDataInjected(pkt, now);
+        return pkt;
+    }
+
+    if (out_.active && pkt->dst == out_.peer) {
+        // Bulk conversion at injection time.
+        pkt->type = PacketType::bulk;
+        pkt->dialog = static_cast<std::int16_t>(out_.dialog);
+        pkt->bulkIndex = out_.sentTotal;
+        pkt->seq = static_cast<std::int16_t>(out_.sentTotal %
+                                             (2 * out_.window));
+        ++out_.sentTotal;
+        pkt->bulkRequest = false;
+        if (pkt->bulkExit) {
+            // Keep the dialog open across back-to-back transfers,
+            // but only if a later queued packet for this peer also
+            // carries an end-of-transfer mark (otherwise the dialog
+            // could stay open forever).
+            bool laterExit = false;
+            for (const PoolEntry &e : sendPool_)
+                if (e.pkt->dst == out_.peer && e.pkt->bulkExit) {
+                    laterExit = true;
+                    break;
+                }
+            if (laterExit)
+                pkt->bulkExit = false;
+            else
+                out_.exitSent = true;
+        }
+        ++bulkPacketsSent_;
+        onDataInjected(pkt, now);
+        return pkt;
+    }
+
+    // Scalar injection.
+    pkt->type = PacketType::scalar;
+    pkt->bulkExit = false;
+    if (cfg_.piggybackAcks)
+        tryPiggyback(pkt, now);
+    if (pkt->bulkRequest) {
+        if (!cfg_.bulkEnabled() || out_.active || out_.requested) {
+            pkt->bulkRequest = false;
+        } else {
+            out_.requested = true;
+            out_.peer = pkt->dst;
+            out_.cls = pkt->netClass;
+        }
+    }
+    opt_.push_back(pkt->dst);
+    panic_if(static_cast<int>(opt_.size()) > cfg_.opt,
+             "OPT overflow on node %d", node_);
+    onDataInjected(pkt, now);
+    return pkt;
+}
+
+Packet *
+NifdyNic::nextToInject(NetClass cls, Cycle now)
+{
+    // Acks first: they are small and the protocol depends on them.
+    // Acks being held for a piggyback opportunity (Section 6.1)
+    // stay queued until their deadline.
+    for (auto it = ackQueue_.begin(); it != ackQueue_.end(); ++it) {
+        if ((*it)->netClass == cls && (*it)->holdUntil <= now) {
+            Packet *ack = *it;
+            ackQueue_.erase(it);
+            ++acksSent_;
+            return ack;
+        }
+    }
+
+    // A granted dialog with nothing to say must still be closed.
+    if (out_.active && out_.closePending && out_.cls == cls) {
+        Packet *pkt = pool_.alloc();
+        pkt->src = node_;
+        pkt->dst = out_.peer;
+        pkt->netClass = cls;
+        pkt->type = PacketType::bulk;
+        pkt->ctrlOnly = true;
+        pkt->bulkExit = true;
+        pkt->sizeBytes = cfg_.ackBytes;
+        pkt->payloadWords = 0;
+        pkt->dialog = static_cast<std::int16_t>(out_.dialog);
+        pkt->bulkIndex = out_.sentTotal;
+        pkt->seq = static_cast<std::int16_t>(out_.sentTotal %
+                                             (2 * out_.window));
+        pkt->createdAt = now;
+        ++out_.sentTotal;
+        out_.exitSent = true;
+        out_.closePending = false;
+        onDataInjected(pkt, now);
+        return pkt;
+    }
+
+    for (std::size_t i = 0; i < sendPool_.size(); ++i) {
+        if (sendPool_[i].pkt->netClass != cls)
+            continue;
+        if (eligibleScalar(sendPool_[i], i))
+            return takeFromPool(i, now);
+    }
+    return nullptr;
+}
+
+bool
+NifdyNic::canAccept(const Packet &pkt)
+{
+    if (pkt.type == PacketType::ack)
+        return true;
+    if (pkt.type == PacketType::bulk)
+        return true; // window slots are reserved by the protocol
+    if (arrivalsFull())
+        return false;
+    reserveArrival();
+    return true;
+}
+
+void
+NifdyNic::tryPiggyback(Packet *pkt, Cycle now)
+{
+    (void)now;
+    for (auto it = ackQueue_.begin(); it != ackQueue_.end(); ++it) {
+        Packet *ack = *it;
+        // Only scalar acks (no cumulative bulk state) riding in the
+        // same logical network as the outgoing data.
+        bool isBulkAck = ack->ackDialog >= 0 && ack->ackSeq >= 0;
+        if (isBulkAck || ack->dst != pkt->dst ||
+            ack->netClass != pkt->netClass)
+            continue;
+        pkt->piggyAck = true;
+        pkt->ackGrantsBulk = ack->ackGrantsBulk;
+        pkt->ackRejectsBulk = ack->ackRejectsBulk;
+        pkt->ackDialog = ack->ackDialog;
+        pkt->ackWindow = ack->ackWindow;
+        ackQueue_.erase(it);
+        pool_.release(ack);
+        ++acksPiggybacked_;
+        return;
+    }
+}
+
+Packet *
+NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
+{
+    Packet *ack = pool_.alloc();
+    ack->type = PacketType::ack;
+    ack->src = node_;
+    ack->dst = dataPkt.src;
+    ack->netClass = oppositeClass(dataPkt.netClass);
+    ack->sizeBytes = cfg_.ackBytes;
+    ack->createdAt = now;
+
+    if (dataPkt.type == PacketType::scalar && dataPkt.bulkRequest &&
+        cfg_.bulkEnabled()) {
+        // Grant a dialog if one is free; otherwise say no.
+        int freeSlot = -1;
+        int existing = -1;
+        for (int i = 0; i < cfg_.dialogs; ++i) {
+            if (!in_[i].active && freeSlot < 0)
+                freeSlot = i;
+            if (in_[i].active && in_[i].src == dataPkt.src)
+                existing = i;
+        }
+        if (existing >= 0) {
+            // Only reachable with retransmitted (duplicate) request
+            // packets: re-grant the same dialog idempotently.
+            ack->ackGrantsBulk = true;
+            ack->ackDialog = static_cast<std::int16_t>(existing);
+            ack->ackWindow = static_cast<std::int16_t>(cfg_.window);
+        } else if (freeSlot >= 0 && allowFreshGrant) {
+            InDialog &d = in_[freeSlot];
+            d.active = true;
+            d.src = dataPkt.src;
+            d.cls = dataPkt.netClass;
+            d.delivered = 0;
+            d.ackedAt = 0;
+            d.slots.assign(cfg_.window, nullptr);
+            d.buffered = 0;
+            d.exitDelivered = false;
+            ack->ackGrantsBulk = true;
+            ack->ackDialog = static_cast<std::int16_t>(freeSlot);
+            ack->ackWindow = static_cast<std::int16_t>(cfg_.window);
+            ++bulkGrants_;
+        } else {
+            ack->ackRejectsBulk = true;
+            ++bulkRejects_;
+        }
+    }
+    return ack;
+}
+
+void
+NifdyNic::queueAck(Packet *ack)
+{
+    ackQueue_.push_back(ack);
+}
+
+bool
+NifdyNic::hasAckQueued(NetClass cls) const
+{
+    for (const Packet *p : ackQueue_)
+        if (p->netClass == cls)
+            return true;
+    return false;
+}
+
+bool
+NifdyNic::clearOpt(NodeId dst)
+{
+    for (std::size_t i = 0; i < opt_.size(); ++i) {
+        if (opt_[i] == dst) {
+            opt_.erase(opt_.begin() + i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+NifdyNic::issueScalarAck(Packet *pkt, Cycle now)
+{
+    if (pkt->noAck || pkt->ackIssued)
+        return;
+    pkt->ackIssued = true;
+    Packet *ack = makeAck(*pkt, now);
+    if (cfg_.piggybackAcks && pkt->expectsReply)
+        ack->holdUntil = now + cfg_.piggybackWait;
+    queueAck(ack);
+}
+
+void
+NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
+{
+    if (pkt->type == PacketType::ack) {
+        applyAck(*pkt, now);
+        pool_.release(pkt);
+        return;
+    }
+
+    // A piggybacked ack is consumed here even when the data packet
+    // itself turns out to be a duplicate (ack handling is
+    // idempotent).
+    if (pkt->piggyAck)
+        applyAck(*pkt, now);
+
+    if (isDuplicate(*pkt, now)) {
+        // Section 6.2: a retransmission of something already seen.
+        // The subclass has already queued the repeated ack.
+        if (pkt->type == PacketType::scalar)
+            consumeReservation();
+        pool_.release(pkt);
+        return;
+    }
+
+    if (pkt->type == PacketType::scalar) {
+        consumeReservation();
+        pushArrival(pkt, now);
+        if (!cfg_.ackOnAccept)
+            issueScalarAck(pkt, now);
+        return;
+    }
+
+    // Bulk data packet: insert into the dialog's reorder window.
+    int d = pkt->dialog;
+    panic_if(d < 0 || d >= static_cast<int>(in_.size()),
+             "bulk packet with bad dialog %d on node %d", d, node_);
+    InDialog &dlg = in_[d];
+    panic_if(!dlg.active, "bulk packet on inactive dialog, node %d",
+             node_);
+    panic_if(dlg.src != pkt->src,
+             "bulk packet from wrong source on node %d", node_);
+    panic_if(pkt->bulkIndex < dlg.delivered ||
+                 pkt->bulkIndex >= dlg.delivered + cfg_.window,
+             "bulk index outside window on node %d", node_);
+    int slot = static_cast<int>(pkt->bulkIndex % cfg_.window);
+    panic_if(dlg.slots[slot] != nullptr,
+             "bulk window slot collision on node %d", node_);
+    dlg.slots[slot] = pkt;
+    ++dlg.buffered;
+    drainDialog(d, now);
+}
+
+void
+NifdyNic::drainDialog(int d, Cycle now)
+{
+    InDialog &dlg = in_[d];
+    if (!dlg.active)
+        return;
+    for (;;) {
+        int slot = static_cast<int>(dlg.delivered % cfg_.window);
+        Packet *pkt = dlg.slots[slot];
+        if (!pkt)
+            break;
+        panic_if(pkt->bulkIndex != dlg.delivered,
+                 "bulk slot holds wrong index on node %d", node_);
+        if (!pkt->ctrlOnly && arrivalsFull())
+            break; // processor-paced: wait for a poll
+        dlg.slots[slot] = nullptr;
+        --dlg.buffered;
+        ++dlg.delivered;
+        if (pkt->bulkExit)
+            dlg.exitDelivered = true;
+        if (pkt->ctrlOnly)
+            pool_.release(pkt);
+        else
+            pushArrival(pkt, now);
+        noteActivity();
+    }
+    maybeAckDialog(d, now);
+}
+
+void
+NifdyNic::maybeAckDialog(int d, Cycle now)
+{
+    InDialog &dlg = in_[d];
+    if (!dlg.active)
+        return;
+    bool due = dlg.delivered - dlg.ackedAt >=
+               static_cast<std::int64_t>(cfg_.effAckEvery());
+    bool final = dlg.exitDelivered && dlg.buffered == 0 &&
+                 dlg.delivered > dlg.ackedAt;
+    if (!due && !final)
+        return;
+
+    Packet *ack = pool_.alloc();
+    ack->type = PacketType::ack;
+    ack->src = node_;
+    ack->dst = dlg.src;
+    ack->netClass = oppositeClass(dlg.cls);
+    ack->sizeBytes = cfg_.ackBytes;
+    ack->createdAt = now;
+    ack->ackDialog = static_cast<std::int16_t>(d);
+    ack->ackSeq = static_cast<std::int16_t>(
+        (dlg.delivered + 2 * cfg_.window - 1) % (2 * cfg_.window));
+    ack->ackTotal = dlg.delivered;
+    dlg.ackedAt = dlg.delivered;
+    queueAck(ack);
+
+    if (dlg.exitDelivered && dlg.buffered == 0) {
+        // Dialog complete; free the slot for another sender. The
+        // tombstone lets late duplicates still be final-acked.
+        tombstones_[dlg.src] = dlg.delivered;
+        dlg = InDialog();
+    }
+}
+
+void
+NifdyNic::applyAck(const Packet &ack, Cycle now)
+{
+    onAckProcessed(ack, now);
+
+    bool isBulkAck = ack.ackDialog >= 0 && ack.ackSeq >= 0;
+    if (!isBulkAck) {
+        clearOpt(ack.src);
+        if (ack.ackGrantsBulk) {
+            if (out_.requested && !out_.active &&
+                out_.peer == ack.src) {
+                out_.active = true;
+                out_.requested = false;
+                out_.dialog = ack.ackDialog;
+                out_.window = ack.ackWindow;
+                out_.sentTotal = 0;
+                out_.ackedTotal = 0;
+                out_.exitSent = false;
+                // If nothing is queued for the peer any more, the
+                // dialog must be explicitly closed again.
+                bool pending = false;
+                for (const PoolEntry &e : sendPool_)
+                    if (e.pkt->dst == out_.peer)
+                        pending = true;
+                out_.closePending = !pending;
+            }
+        } else if (ack.ackRejectsBulk) {
+            if (out_.requested && !out_.active &&
+                out_.peer == ack.src) {
+                out_.requested = false;
+                out_.peer = invalidNode;
+            }
+        }
+        return;
+    }
+
+    // Bulk (windowed, cumulative) ack. The monotone delivered
+    // count makes reordered or repeated acks harmless.
+    if (!out_.active || out_.dialog != ack.ackDialog ||
+        out_.peer != ack.src)
+        return; // stale (possible only with retransmissions)
+    if (ack.ackTotal <= out_.ackedTotal)
+        return;
+    panic_if(ack.ackTotal > out_.sentTotal,
+             "bulk ack beyond outstanding on node %d", node_);
+    out_.ackedTotal = ack.ackTotal;
+    if (out_.exitSent && out_.ackedTotal == out_.sentTotal)
+        out_ = OutDialog();
+}
+
+void
+NifdyNic::onProcessorAccept(Packet *pkt, Cycle now)
+{
+    if (pkt->type == PacketType::scalar && cfg_.ackOnAccept)
+        issueScalarAck(pkt, now);
+    // A FIFO slot just freed up: in-order bulk packets waiting in
+    // reorder buffers may now advance.
+    for (int d = 0; d < static_cast<int>(in_.size()); ++d)
+        if (in_[d].active && in_[d].buffered > 0)
+            drainDialog(d, now);
+}
+
+void
+NifdyNic::onDataInjected(Packet *pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+}
+
+void
+NifdyNic::onAckProcessed(const Packet &ack, Cycle now)
+{
+    (void)ack;
+    (void)now;
+}
+
+bool
+NifdyNic::isDuplicate(Packet &pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+    return false;
+}
+
+bool
+NifdyNic::bulkDialogMatches(const Packet &pkt) const
+{
+    int d = pkt.dialog;
+    if (d < 0 || d >= static_cast<int>(in_.size()) || !in_[d].active)
+        return false;
+    return in_[d].src == pkt.src;
+}
+
+bool
+NifdyNic::bulkPacketAcceptable(const Packet &pkt) const
+{
+    return bulkDialogMatches(pkt) &&
+           bulkIndexFresh(pkt.dialog, pkt.bulkIndex);
+}
+
+bool
+NifdyNic::bulkIndexFresh(int d, std::int64_t index) const
+{
+    if (d < 0 || d >= static_cast<int>(in_.size()) || !in_[d].active)
+        return false;
+    const InDialog &dlg = in_[d];
+    if (index < dlg.delivered || index >= dlg.delivered + cfg_.window)
+        return false;
+    // A second copy of a buffered index must be treated as a dup.
+    return dlg.slots[index % cfg_.window] == nullptr;
+}
+
+void
+NifdyNic::reAckBulk(int d, Cycle now)
+{
+    if (d < 0 || d >= static_cast<int>(in_.size()) || !in_[d].active)
+        return;
+    InDialog &dlg = in_[d];
+    Packet *ack = pool_.alloc();
+    ack->type = PacketType::ack;
+    ack->src = node_;
+    ack->dst = dlg.src;
+    ack->netClass = oppositeClass(dlg.cls);
+    ack->sizeBytes = cfg_.ackBytes;
+    ack->createdAt = now;
+    ack->ackDialog = static_cast<std::int16_t>(d);
+    ack->ackSeq = static_cast<std::int16_t>(
+        (dlg.delivered + 2 * cfg_.window - 1) % (2 * cfg_.window));
+    ack->ackTotal = dlg.delivered;
+    queueAck(ack);
+}
+
+std::int64_t
+NifdyNic::dialogTombstone(NodeId src) const
+{
+    auto it = tombstones_.find(src);
+    return it == tombstones_.end() ? 0 : it->second;
+}
+
+} // namespace nifdy

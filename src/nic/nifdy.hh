@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The NIFDY unit: a network interface with admission control,
+ * end-to-end flow control, and in-order delivery (paper, Section 2).
+ *
+ * Scalar mode: at most one outstanding (unacknowledged) packet per
+ * destination, tracked in the outstanding packet table (OPT, O
+ * entries); at most O outstanding packets overall. An outgoing pool
+ * of B buffers with a rank/eligibility discipline lets packets for
+ * different destinations interleave, eliminating head-of-line
+ * blocking. Every scalar packet is acked individually; the ack is
+ * returned when the processor accepts the packet (the paper's
+ * footnote-2 default; ack-on-arrival is available as an ablation).
+ *
+ * Bulk mode: a sender may request a bulk dialog via a header bit; a
+ * receiver maintaining fewer than D dialogs grants one in the ack,
+ * giving the sender a W-packet sliding window into dedicated
+ * reorder buffers. Acks are combined, one per W/2 packets. In-order
+ * bulk packets stream through; out-of-order ones wait in the
+ * window. A bulk-exit header bit closes the dialog.
+ *
+ * Acks travel on the opposite logical network from their data
+ * packet and are consumed by the receiving NIFDY unit.
+ */
+
+#ifndef NIFDY_NIC_NIFDY_HH
+#define NIFDY_NIC_NIFDY_HH
+
+#include <map>
+
+#include "nic/nic.hh"
+
+namespace nifdy
+{
+
+/** Tunable NIFDY protocol parameters (paper, Section 2.1). */
+struct NifdyConfig
+{
+    int opt = 8;    //!< O: outstanding packet table entries
+    int pool = 8;   //!< B: outgoing buffer pool size (packets)
+    int dialogs = 1; //!< D: bulk dialogs a receiver maintains
+    int window = 8; //!< W: receiver window per dialog (packets)
+    /** Footnote 2: ack when the processor accepts the packet. */
+    bool ackOnAccept = true;
+    /** Combined acks: one per max(1, W/2) packets. 0 = default. */
+    int ackEvery = 0;
+    /** Ack packet size in bytes. */
+    int ackBytes = 8;
+    /**
+     * Section 6.1: piggyback scalar acks on application replies.
+     * The ack for a packet marked expectsReply is held up to
+     * piggybackWait cycles; if a data packet for the acker is
+     * injected meanwhile, the ack rides along in its header.
+     */
+    bool piggybackAcks = false;
+    Cycle piggybackWait = 300;
+
+    bool bulkEnabled() const { return dialogs > 0 && window > 0; }
+    int effAckEvery() const
+    {
+        if (ackEvery > 0)
+            return std::min(ackEvery, window);
+        return std::max(1, window / 2);
+    }
+    /** Sequence space for bulk packets. */
+    int seqSpace() const { return 2 * std::max(1, window); }
+};
+
+class NifdyNic : public Nic
+{
+  public:
+    NifdyNic(NodeId node, const Network::NodePorts &ports,
+             const NicParams &params, const NifdyConfig &cfg,
+             PacketPool &pool);
+
+    bool canSend(const Packet &pkt) const override;
+    void send(Packet *pkt, Cycle now) override;
+    bool transitIdle() const override;
+
+    const NifdyConfig &config() const { return cfg_; }
+
+    //! @name Introspection (tests)
+    //! @{
+    int optOccupancy() const
+    {
+        return static_cast<int>(opt_.size());
+    }
+    int poolOccupancy() const
+    {
+        return static_cast<int>(sendPool_.size());
+    }
+    int acksQueued() const
+    {
+        return static_cast<int>(ackQueue_.size());
+    }
+    bool bulkActive() const { return out_.active; }
+    NodeId bulkPeer() const { return out_.peer; }
+    int activeInDialogs() const;
+    //! @}
+
+    //! @name Protocol statistics
+    //! @{
+    std::uint64_t acksSent() const { return acksSent_; }
+    std::uint64_t acksPiggybacked() const { return acksPiggybacked_; }
+    std::uint64_t bulkGrants() const { return bulkGrants_; }
+    std::uint64_t bulkRejects() const { return bulkRejects_; }
+    std::uint64_t bulkPacketsSent() const { return bulkPacketsSent_; }
+    //! @}
+
+  protected:
+    Packet *nextToInject(NetClass cls, Cycle now) override;
+    bool canAccept(const Packet &pkt) override;
+    void onPacketDelivered(Packet *pkt, Cycle now) override;
+    void onProcessorAccept(Packet *pkt, Cycle now) override;
+
+    /**
+     * Section 6.2 hooks: called when a data packet begins injection
+     * (the retransmitting subclass snapshots it) and when an ack
+     * arrives (the subclass clears timers). Defaults do nothing.
+     */
+    virtual void onDataInjected(Packet *pkt, Cycle now);
+    virtual void onAckProcessed(const Packet &ack, Cycle now);
+
+    /**
+     * Receiver-side dedup hook (Section 6.2); default accepts
+     * everything. A subclass returning true must have queued any
+     * repeated ack itself; the base releases the packet.
+     */
+    virtual bool isDuplicate(Packet &pkt, Cycle now);
+
+    /**
+     * Is monotone bulk index @p index inside dialog @p d's live,
+     * still-empty receive window slot range?
+     */
+    bool bulkIndexFresh(int d, std::int64_t index) const;
+
+    /** Does @p pkt's dialog exist, live, with a matching source? */
+    bool bulkDialogMatches(const Packet &pkt) const;
+
+    /** Total bulk packets injected on the current outgoing dialog. */
+    std::int64_t bulkSentTotal() const { return out_.sentTotal; }
+
+    /**
+     * Final delivered count of the last completed dialog with
+     * @p src (0 if none). Lets the lossy extension repeat the final
+     * ack for duplicates arriving after a dialog was freed.
+     */
+    std::int64_t dialogTombstone(NodeId src) const;
+
+    /** Re-emit the cumulative ack for dialog @p d (dup handling). */
+    void reAckBulk(int d, Cycle now);
+
+    /** Enqueue a generated ack for injection. */
+    void queueAck(Packet *ack);
+
+    /** Is an ack of class @p cls waiting to be injected? */
+    bool hasAckQueued(NetClass cls) const;
+
+    /** Remove @p dst's entry from the OPT (ack or timeout). */
+    bool clearOpt(NodeId dst);
+
+    /**
+     * Build (but do not queue) an ack for @p dataPkt. When
+     * @p allowFreshGrant is false (duplicate re-acks), a bulk
+     * request without an existing dialog is rejected rather than
+     * granted, so late duplicates cannot leak dialog slots.
+     */
+    Packet *makeAck(const Packet &dataPkt, Cycle now,
+                    bool allowFreshGrant = true);
+
+    /**
+     * Would the base protocol accept this bulk packet right now
+     * (dialog active, source matches, sequence inside the window)?
+     */
+    bool bulkPacketAcceptable(const Packet &pkt) const;
+
+  private:
+    struct PoolEntry
+    {
+        Packet *pkt;
+        std::uint64_t order;
+    };
+
+    /** Sender-side state of the (single) outgoing bulk dialog. */
+    struct OutDialog
+    {
+        bool requested = false;
+        bool active = false;
+        bool exitSent = false;
+        bool closePending = false;
+        NodeId peer = invalidNode;
+        NetClass cls = NetClass::request;
+        int dialog = -1;
+        int window = 0;
+        std::int64_t sentTotal = 0; //!< bulk packets injected;
+                                    //!< the wire seq is its mod-2W
+                                    //!< compression
+        std::int64_t ackedTotal = 0; //!< covered by cumulative acks
+
+        int unacked() const
+        {
+            return static_cast<int>(sentTotal - ackedTotal);
+        }
+    };
+
+    /** Receiver-side state of one incoming bulk dialog. */
+    struct InDialog
+    {
+        bool active = false;
+        NodeId src = invalidNode;
+        NetClass cls = NetClass::request;
+        std::int64_t delivered = 0;    //!< frontier: next index due
+        std::int64_t ackedAt = 0;      //!< delivered at last ack
+        std::vector<Packet *> slots;   //!< W reorder buffers
+        int buffered = 0;
+        bool exitDelivered = false;
+    };
+
+    bool eligibleScalar(const PoolEntry &e, std::size_t idx) const;
+    Packet *takeFromPool(std::size_t idx, Cycle now);
+    /** Interpret @p ack's acknowledgment fields (standalone ack
+     * packet or piggybacked data packet alike). */
+    void applyAck(const Packet &ack, Cycle now);
+    /** Merge a waiting scalar ack for pkt->dst into @p pkt. */
+    void tryPiggyback(Packet *pkt, Cycle now);
+    void issueScalarAck(Packet *pkt, Cycle now);
+    void drainDialog(int d, Cycle now);
+    void maybeAckDialog(int d, Cycle now);
+    void deliverData(Packet *pkt, Cycle now);
+
+    NifdyConfig cfg_;
+    std::vector<PoolEntry> sendPool_;
+    std::uint64_t poolOrder_ = 0;
+    std::vector<NodeId> opt_;
+    std::deque<Packet *> ackQueue_;
+    OutDialog out_;
+    std::vector<InDialog> in_;
+    std::map<NodeId, std::int64_t> tombstones_;
+
+    std::uint64_t acksSent_ = 0;
+    std::uint64_t acksPiggybacked_ = 0;
+    std::uint64_t bulkGrants_ = 0;
+    std::uint64_t bulkRejects_ = 0;
+    std::uint64_t bulkPacketsSent_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NIC_NIFDY_HH

@@ -1,0 +1,97 @@
+#include "nic/nifdyparams.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nifdy
+{
+
+double
+latency(const NetModel &m, int hops)
+{
+    return m.latA * hops + m.latB;
+}
+
+double
+roundTrip(const NetModel &m, int hops)
+{
+    return 2 * latency(m, hops) + m.tAckProc;
+}
+
+namespace
+{
+
+double
+bottleneck(const NetModel &m)
+{
+    return std::max({m.tSend, m.tReceive, m.tLink});
+}
+
+} // namespace
+
+double
+rawBandwidth(const NetModel &m, int packetBytes)
+{
+    return packetBytes / bottleneck(m);
+}
+
+double
+scalarBandwidth(const NetModel &m, int packetBytes, int hops)
+{
+    double interval = std::max(bottleneck(m), roundTrip(m, hops));
+    return packetBytes / interval;
+}
+
+int
+windowForCombinedAcks(const NetModel &m, int hops)
+{
+    double w = 2 * (roundTrip(m, hops) / bottleneck(m) - 1);
+    return std::max(2, static_cast<int>(std::ceil(w)));
+}
+
+int
+windowForPerPacketAcks(const NetModel &m, int hops)
+{
+    double w = roundTrip(m, hops) / bottleneck(m);
+    return std::max(1, static_cast<int>(std::ceil(w)));
+}
+
+bool
+scalarSufficient(const NetModel &m, int hops)
+{
+    return roundTrip(m, hops) <= bottleneck(m);
+}
+
+NifdyConfig
+suggestConfig(const NetModel &m, int maxHops,
+              double volumeWordsPerNode, double bisectionRatio)
+{
+    NifdyConfig cfg;
+    // Generous defaults for roomy networks, restricted below.
+    cfg.opt = 8;
+    cfg.pool = 8;
+    cfg.dialogs = 1;
+
+    // Section 2.4.3: a low-volume network fills up with only a few
+    // packets per node, so admit fewer outstanding packets.
+    bool lowVolume = volumeWordsPerNode < 16;
+    bool lowBisection = bisectionRatio < 0.5;
+    if (lowVolume || lowBisection) {
+        cfg.opt = 4;
+        cfg.pool = 4;
+    }
+
+    if (scalarSufficient(m, maxHops)) {
+        // Round trips hide under the software overhead: bulk
+        // dialogs help only marginally.
+        cfg.window = scalarSufficient(m, maxHops) ? 2 : 4;
+    } else {
+        cfg.window = windowForCombinedAcks(m, maxHops);
+        if (lowVolume || lowBisection)
+            cfg.window = std::max(2, cfg.window / 2);
+        cfg.window = std::min(cfg.window, 8);
+    }
+    return cfg;
+}
+
+} // namespace nifdy

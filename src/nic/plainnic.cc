@@ -1,0 +1,79 @@
+#include "nic/plainnic.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+BufferedNic::BufferedNic(NodeId node, const Network::NodePorts &ports,
+                         const NicParams &params, PacketPool &pool,
+                         int outQueue)
+    : Nic(node, ports, params, pool), outQueue_(outQueue)
+{
+    panic_if(outQueue_ < 1, "outgoing queue must hold >= 1 packet");
+}
+
+bool
+BufferedNic::canSend(const Packet &pkt) const
+{
+    (void)pkt;
+    return static_cast<int>(sendQueue_.size()) < outQueue_;
+}
+
+void
+BufferedNic::send(Packet *pkt, Cycle now)
+{
+    panic_if(!canSend(*pkt), "send on full NIC %d", node_);
+    pkt->createdAt = now;
+    sendQueue_.push_back(pkt);
+}
+
+bool
+BufferedNic::transitIdle() const
+{
+    return sendQueue_.empty() && Nic::transitIdle();
+}
+
+Packet *
+BufferedNic::nextToInject(NetClass cls, Cycle now)
+{
+    (void)now;
+    // Strict FIFO: only the front packet may go (head-of-line
+    // blocking across classes is part of this baseline's behavior).
+    if (sendQueue_.empty() || sendQueue_.front()->netClass != cls)
+        return nullptr;
+    Packet *pkt = sendQueue_.front();
+    sendQueue_.pop_front();
+    return pkt;
+}
+
+bool
+BufferedNic::canAccept(const Packet &pkt)
+{
+    panic_if(pkt.type == PacketType::ack,
+             "protocol-free NIC %d received an ack", node_);
+    if (arrivalsFull())
+        return false;
+    reserveArrival();
+    return true;
+}
+
+void
+BufferedNic::onPacketDelivered(Packet *pkt, Cycle now)
+{
+    consumeReservation();
+    pushArrival(pkt, now);
+}
+
+PlainNic::PlainNic(NodeId node, const Network::NodePorts &ports,
+                   NicParams params, PacketPool &pool)
+    : BufferedNic(node, ports,
+                  [](NicParams p) {
+                      p.arrivalFifo = 2;
+                      return p;
+                  }(params),
+                  pool, 1)
+{
+}
+
+} // namespace nifdy

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Baseline NICs without the NIFDY protocol.
+ *
+ * BufferedNic is a protocol-free NIC with a configurable outgoing
+ * queue and arrivals FIFO: the paper's "buffers only" control, which
+ * gets the same total buffer budget as the NIFDY unit it is compared
+ * against (redistributed for best effect). PlainNic is the "no
+ * NIFDY" baseline: one outgoing packet register and a two-packet
+ * arrivals FIFO.
+ */
+
+#ifndef NIFDY_NIC_PLAINNIC_HH
+#define NIFDY_NIC_PLAINNIC_HH
+
+#include "nic/nic.hh"
+
+namespace nifdy
+{
+
+/** Protocol-free NIC: FIFO in, FIFO out, no admission control. */
+class BufferedNic : public Nic
+{
+  public:
+    /**
+     * @param outQueue outgoing queue capacity in packets.
+     * (The arrivals FIFO size comes from NicParams::arrivalFifo.)
+     */
+    BufferedNic(NodeId node, const Network::NodePorts &ports,
+                const NicParams &params, PacketPool &pool,
+                int outQueue);
+
+    bool canSend(const Packet &pkt) const override;
+    void send(Packet *pkt, Cycle now) override;
+    bool transitIdle() const override;
+
+    int outQueueCapacity() const { return outQueue_; }
+
+  protected:
+    Packet *nextToInject(NetClass cls, Cycle now) override;
+    bool canAccept(const Packet &pkt) override;
+    void onPacketDelivered(Packet *pkt, Cycle now) override;
+
+  private:
+    int outQueue_;
+    std::deque<Packet *> sendQueue_;
+};
+
+/** The "no NIFDY" minimal interface. */
+class PlainNic : public BufferedNic
+{
+  public:
+    PlainNic(NodeId node, const Network::NodePorts &ports,
+             NicParams params, PacketPool &pool);
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NIC_PLAINNIC_HH

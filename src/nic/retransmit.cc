@@ -1,0 +1,184 @@
+#include "nic/retransmit.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+LossyNifdyNic::LossyNifdyNic(NodeId node,
+                             const Network::NodePorts &ports,
+                             const NicParams &params,
+                             const NifdyConfig &cfg,
+                             const LossyConfig &lossy, PacketPool &pool)
+    : NifdyNic(node, ports, params, cfg, pool), lossy_(lossy),
+      dropRng_(params.seed, 0xd209 + node)
+{
+    fatal_if(lossy_.dropProb < 0 || lossy_.dropProb >= 1.0,
+             "drop probability must be in [0, 1)");
+    fatal_if(lossy_.retxTimeout < 1, "retransmit timeout must be >= 1");
+}
+
+void
+LossyNifdyNic::step(Cycle now)
+{
+    checkTimers(now);
+    NifdyNic::step(now);
+}
+
+bool
+LossyNifdyNic::transitIdle() const
+{
+    if (!retxQueue_.empty())
+        return false;
+    return NifdyNic::transitIdle();
+}
+
+void
+LossyNifdyNic::checkTimers(Cycle now)
+{
+    for (auto &kv : scalarRetx_) {
+        if (now >= kv.second.deadline) {
+            retransmit(kv.second, now);
+            kv.second.deadline = now + lossy_.retxTimeout;
+        }
+    }
+    for (auto &kv : bulkRetx_) {
+        if (now >= kv.second.deadline) {
+            retransmit(kv.second, now);
+            kv.second.deadline = now + lossy_.retxTimeout;
+        }
+    }
+}
+
+void
+LossyNifdyNic::retransmit(const Snapshot &snap, Cycle now)
+{
+    Packet *p = pool_.alloc();
+    std::uint64_t id = p->id;
+    *p = snap.copy;
+    p->id = id;
+    p->routeScratch = 0;
+    p->ackIssued = false;
+    p->injectedAt = 0;
+    p->createdAt = now;
+    retxQueue_.push_back(p);
+    ++retransmissions_;
+    noteActivity();
+}
+
+Packet *
+LossyNifdyNic::nextToInject(NetClass cls, Cycle now)
+{
+    // Acks keep absolute priority; retransmissions come next.
+    if (!hasAckQueued(cls) && !retxQueue_.empty()) {
+        for (auto it = retxQueue_.begin(); it != retxQueue_.end();
+             ++it) {
+            if ((*it)->netClass == cls) {
+                Packet *p = *it;
+                retxQueue_.erase(it);
+                return p;
+            }
+        }
+    }
+    return NifdyNic::nextToInject(cls, now);
+}
+
+void
+LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
+{
+    if (lossy_.dropProb > 0 && dropRng_.chance(lossy_.dropProb)) {
+        ++packetsDropped_;
+        if (pkt->type == PacketType::scalar)
+            consumeReservation(); // canAccept() claimed a slot
+        pool_.release(pkt);
+        noteActivity();
+        return;
+    }
+    NifdyNic::onPacketDelivered(pkt, now);
+}
+
+void
+LossyNifdyNic::onDataInjected(Packet *pkt, Cycle now)
+{
+    if (pkt->noAck)
+        return;
+    if (pkt->type == PacketType::bulk) {
+        pkt->dupBit = false;
+        Snapshot &s = bulkRetx_[bulkSentTotal() - 1];
+        s.copy = *pkt;
+        s.deadline = now + lossy_.retxTimeout;
+        return;
+    }
+    // Fresh scalar packet: bump the per-destination sequence (the
+    // header dupBit is its one-bit compression); retransmissions
+    // keep the recorded copy's values.
+    std::int64_t idx = sendScalarIdx_[pkt->dst]++;
+    pkt->scalarIndex = idx;
+    pkt->dupBit = idx & 1;
+    Snapshot &s = scalarRetx_[pkt->dst];
+    s.copy = *pkt;
+    s.deadline = now + lossy_.retxTimeout;
+}
+
+void
+LossyNifdyNic::onAckProcessed(const Packet &ack, Cycle now)
+{
+    (void)now;
+    bool isBulkAck = ack.ackDialog >= 0 && ack.ackSeq >= 0;
+    if (!isBulkAck) {
+        scalarRetx_.erase(ack.src);
+        return;
+    }
+    // Cumulative bulk ack: clear every snapshot it covers (keys are
+    // the monotone send indices).
+    bulkRetx_.erase(bulkRetx_.begin(),
+                    bulkRetx_.lower_bound(ack.ackTotal));
+}
+
+bool
+LossyNifdyNic::isDuplicate(Packet &pkt, Cycle now)
+{
+    if (pkt.type == PacketType::scalar) {
+        auto it = recvScalarIdx_.find(pkt.src);
+        std::int64_t last = it == recvScalarIdx_.end() ? -1
+                                                       : it->second;
+        if (pkt.scalarIndex <= last) {
+            ++duplicatesSeen_;
+            // Repeat the (lost) ack; duplicates never earn a fresh
+            // bulk grant.
+            queueAck(makeAck(pkt, now, false));
+            return true;
+        }
+        recvScalarIdx_[pkt.src] = pkt.scalarIndex;
+        return false;
+    }
+    if (pkt.type == PacketType::bulk) {
+        if (bulkPacketAcceptable(pkt))
+            return false;
+        ++duplicatesSeen_;
+        if (bulkDialogMatches(pkt)) {
+            // Already delivered, or a second copy of a buffered
+            // index: repeat the cumulative ack at the frontier.
+            reAckBulk(pkt.dialog, now);
+            return true;
+        }
+        // Late duplicate for a dialog that has been closed (or its
+        // slot reused by another sender): repeat the final ack from
+        // the tombstone so the sender can finish closing.
+        Packet *ack = pool_.alloc();
+        ack->type = PacketType::ack;
+        ack->src = node_;
+        ack->dst = pkt.src;
+        ack->netClass = oppositeClass(pkt.netClass);
+        ack->sizeBytes = config().ackBytes;
+        ack->createdAt = now;
+        ack->ackDialog = pkt.dialog;
+        ack->ackSeq = pkt.seq;
+        ack->ackTotal = dialogTombstone(pkt.src);
+        queueAck(ack);
+        return true;
+    }
+    return false;
+}
+
+} // namespace nifdy

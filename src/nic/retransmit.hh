@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section 6.2 extension: NIFDY over unreliable (packet-dropping)
+ * networks, e.g. networks of workstations.
+ *
+ * The sender keeps one retransmission buffer and timer per OPT
+ * entry and per outstanding bulk packet; an expired timer re-sends
+ * the packet. One duplicate bit in the header (toggled per fresh
+ * scalar packet, kept across retransmissions) plus the bulk
+ * sequence numbers let the receiver discard duplicates and repeat
+ * the lost ack.
+ *
+ * Packet loss itself is modeled by a fault injector at the
+ * receiving NIC: each arriving data or ack packet is discarded with
+ * probability dropProb before it reaches the protocol, which
+ * exercises exactly the same recovery paths as loss inside the
+ * fabric would (the substitution is recorded in DESIGN.md).
+ */
+
+#ifndef NIFDY_NIC_RETRANSMIT_HH
+#define NIFDY_NIC_RETRANSMIT_HH
+
+#include <map>
+
+#include "nic/nifdy.hh"
+#include "sim/rng.hh"
+
+namespace nifdy
+{
+
+/** Extra knobs for the lossy-network extension. */
+struct LossyConfig
+{
+    /** Probability that an arriving packet is dropped. */
+    double dropProb = 0.0;
+    /** Cycles before an unacked packet is retransmitted. */
+    Cycle retxTimeout = 4000;
+};
+
+class LossyNifdyNic : public NifdyNic
+{
+  public:
+    LossyNifdyNic(NodeId node, const Network::NodePorts &ports,
+                  const NicParams &params, const NifdyConfig &cfg,
+                  const LossyConfig &lossy, PacketPool &pool);
+
+    void step(Cycle now) override;
+    bool transitIdle() const override;
+
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    std::uint64_t packetsDropped() const { return packetsDropped_; }
+    std::uint64_t duplicatesSeen() const { return duplicatesSeen_; }
+
+  protected:
+    Packet *nextToInject(NetClass cls, Cycle now) override;
+    void onPacketDelivered(Packet *pkt, Cycle now) override;
+    void onDataInjected(Packet *pkt, Cycle now) override;
+    void onAckProcessed(const Packet &ack, Cycle now) override;
+    bool isDuplicate(Packet &pkt, Cycle now) override;
+
+  private:
+    struct Snapshot
+    {
+        Packet copy;
+        Cycle deadline = 0;
+    };
+
+    void checkTimers(Cycle now);
+    void retransmit(const Snapshot &snap, Cycle now);
+
+    LossyConfig lossy_;
+    Rng dropRng_;
+    /** Scalar snapshots keyed by destination (one per OPT entry). */
+    std::map<NodeId, Snapshot> scalarRetx_;
+    /** Bulk snapshots keyed by monotone send index. */
+    std::map<std::int64_t, Snapshot> bulkRetx_;
+    /** Sender-side scalar sequence per destination. */
+    std::map<NodeId, std::int64_t> sendScalarIdx_;
+    /** Receiver-side last accepted scalar index per source. */
+    std::map<NodeId, std::int64_t> recvScalarIdx_;
+    std::deque<Packet *> retxQueue_;
+
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t packetsDropped_ = 0;
+    std::uint64_t duplicatesSeen_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_NIC_RETRANSMIT_HH

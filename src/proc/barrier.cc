@@ -1,0 +1,52 @@
+#include "proc/barrier.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Barrier::Barrier(int numNodes, Cycle latency)
+    : numNodes_(numNodes), latency_(latency),
+      nodeGen_(numNodes, -1)
+{
+    panic_if(numNodes_ < 1, "barrier needs participants");
+}
+
+void
+Barrier::arrive(NodeId n, Cycle now)
+{
+    panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
+    panic_if(nodeGen_[n] >= generation_,
+             "node %d arrived twice at barrier generation %d", n,
+             generation_);
+    nodeGen_[n] = generation_;
+    ++arrivedCount_;
+    if (arrivedCount_ == numNodes_)
+        releaseAt_ = now + latency_;
+}
+
+bool
+Barrier::arrived(NodeId n) const
+{
+    return nodeGen_[n] >= generation_;
+}
+
+bool
+Barrier::released(NodeId n, Cycle now)
+{
+    // A node that has not arrived at the current generation was
+    // released from every earlier one.
+    if (nodeGen_[n] < generation_)
+        return true;
+    if (arrivedCount_ < numNodes_ || now < releaseAt_)
+        return false;
+    // Everyone is past the release point: the first observer
+    // advances the generation; later observers see an older
+    // arrival generation and fall through above.
+    generation_ += 1;
+    arrivedCount_ = 0;
+    releaseAt_ = neverCycle;
+    return true;
+}
+
+} // namespace nifdy

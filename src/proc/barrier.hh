@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Global barrier with a configurable release latency, modeling the
+ * CM-5 control network used by bulk-synchronous workloads and by
+ * the Strata-style optimized barriers of [BK94].
+ */
+
+#ifndef NIFDY_PROC_BARRIER_HH
+#define NIFDY_PROC_BARRIER_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+class Barrier
+{
+  public:
+    /**
+     * @param numNodes participants
+     * @param latency cycles between the last arrival and release
+     */
+    explicit Barrier(int numNodes, Cycle latency = 100);
+
+    /** Node @p n arrives at the current barrier generation. */
+    void arrive(NodeId n, Cycle now);
+
+    /** Has node @p n already arrived at the current generation? */
+    bool arrived(NodeId n) const;
+
+    /** May node @p n proceed past the barrier it arrived at? */
+    bool released(NodeId n, Cycle now);
+
+    /** Completed barrier episodes. */
+    int generation() const { return generation_; }
+
+    Cycle latency() const { return latency_; }
+
+  private:
+    int numNodes_;
+    Cycle latency_;
+    int generation_ = 0;
+    int arrivedCount_ = 0;
+    Cycle releaseAt_ = neverCycle;
+    /** Generation at which each node last arrived. */
+    std::vector<int> nodeGen_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_PROC_BARRIER_HH

@@ -1,0 +1,64 @@
+#include "proc/processor.hh"
+
+#include "proc/workload.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Processor::Processor(NodeId id, Nic &nic, const ProcParams &params)
+    : id_(id), nic_(nic), params_(params)
+{
+}
+
+void
+Processor::step(Cycle now)
+{
+    if (busy(now)) {
+        if (kernel_)
+            kernel_->noteActivity();
+        return;
+    }
+    if (workload_)
+        workload_->tick(now);
+}
+
+void
+Processor::compute(Cycle cycles, Cycle now)
+{
+    if (cycles == 0)
+        return;
+    // Additive: charging twice in one tick stacks the costs.
+    busyUntil_ = std::max(busyUntil_, now) + cycles;
+    cyclesBusy_ += cycles;
+    if (kernel_)
+        kernel_->noteActivity();
+}
+
+bool
+Processor::sendPacket(Packet *pkt, Cycle now)
+{
+    panic_if(pkt == nullptr, "sendPacket(nullptr)");
+    if (!nic_.canSend(*pkt))
+        return false;
+    nic_.send(pkt, now);
+    compute(params_.tSend, now);
+    ++sends_;
+    return true;
+}
+
+Packet *
+Processor::poll(Cycle now)
+{
+    Packet *pkt = nic_.pollReceive(now);
+    if (pkt) {
+        compute(params_.tReceive, now);
+        ++receives_;
+    } else {
+        compute(params_.tPoll, now);
+        ++emptyPolls_;
+    }
+    return pkt;
+}
+
+} // namespace nifdy

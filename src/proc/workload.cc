@@ -1,0 +1,45 @@
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+Workload::Workload(Processor &proc, MessageLayer &msg, Barrier *barrier,
+                   std::uint64_t seed)
+    : proc_(proc), msg_(msg), barrier_(barrier),
+      rng_(seed, 0x3a11 + proc.id())
+{
+}
+
+void
+Workload::onReceive(const Packet &pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+}
+
+bool
+Workload::receiveOne(Cycle now)
+{
+    if (!proc_.peek())
+        return false;
+    Packet *pkt = proc_.poll(now);
+    if (!pkt)
+        return false;
+    onReceive(*pkt, now);
+    ++packetsAccepted_;
+    wordsAccepted_ += msg_.accept(pkt, now);
+    return true;
+}
+
+void
+Workload::pollNetwork(Cycle now)
+{
+    Packet *pkt = proc_.poll(now);
+    if (pkt) {
+        onReceive(*pkt, now);
+        ++packetsAccepted_;
+        wordsAccepted_ += msg_.accept(pkt, now);
+    }
+}
+
+} // namespace nifdy

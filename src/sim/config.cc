@@ -1,0 +1,147 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, long value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    values_[key] = os.str();
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    auto it = values_.find(key);
+    fatal_if(it == values_.end(), "missing config key '%s'", key.c_str());
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long
+Config::getInt(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    long out = std::strtol(v.c_str(), &end, 0);
+    fatal_if(end == v.c_str() || *end != '\0',
+             "config key '%s' has non-integer value '%s'", key.c_str(),
+             v.c_str());
+    return out;
+}
+
+long
+Config::getInt(const std::string &key, long fallback) const
+{
+    return has(key) ? getInt(key) : fallback;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    fatal_if(end == v.c_str() || *end != '\0',
+             "config key '%s' has non-numeric value '%s'", key.c_str(),
+             v.c_str());
+    return out;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    return has(key) ? getDouble(key) : fallback;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    std::string v = getString(key);
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s' has non-boolean value '%s'", key.c_str(),
+          v.c_str());
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    return has(key) ? getBool(key) : fallback;
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, char **argv)
+{
+    std::vector<std::string> leftovers;
+    for (int i = 1; i < argc; ++i) {
+        std::string tok(argv[i]);
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            leftovers.push_back(tok);
+            continue;
+        }
+        set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return leftovers;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    for (const auto &kv : values_)
+        os << kv.first << "=" << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace nifdy

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Run-time configuration dictionary.
+ *
+ * The paper's simulator takes "most simulation parameters ... at run
+ * time, allowing easy exploration of the design space". Config is a
+ * simple typed key/value store populated from defaults and from
+ * command-line "key=value" arguments.
+ */
+
+#ifndef NIFDY_SIM_CONFIG_HH
+#define NIFDY_SIM_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nifdy
+{
+
+/**
+ * Typed key/value configuration with "key=value" CLI parsing.
+ *
+ * Unknown keys are rejected on read only, so callers can layer
+ * defaults with set() and override them from the command line.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a value. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, long value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** True iff the key is present. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. The one-argument forms are fatal() on a missing
+     * key; the two-argument forms return the fallback instead.
+     * Malformed values are always fatal().
+     */
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    long getInt(const std::string &key) const;
+    long getInt(const std::string &key, long fallback) const;
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Parse argv-style "key=value" tokens into this config.
+     * Returns the tokens that did not look like assignments.
+     */
+    std::vector<std::string> parseArgs(int argc, char **argv);
+
+    /** All keys, sorted (for dumping). */
+    std::vector<std::string> keys() const;
+
+    /** Render as "key=value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_CONFIG_HH

@@ -1,0 +1,57 @@
+#include "sim/kernel.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+void
+Kernel::add(Steppable *obj, std::string name)
+{
+    panic_if(obj == nullptr, "Kernel::add(nullptr)");
+    objects_.push_back(obj);
+    names_.push_back(std::move(name));
+}
+
+void
+Kernel::step()
+{
+    activeThisCycle_ = false;
+    for (Steppable *obj : objects_)
+        obj->step(now_);
+    ++now_;
+    if (activeThisCycle_)
+        idleCycles_ = 0;
+    else
+        ++idleCycles_;
+}
+
+Cycle
+Kernel::run(Cycle maxCycles, const std::function<bool()> &done)
+{
+    Cycle executed = 0;
+    while (executed < maxCycles) {
+        if (done && done())
+            break;
+        step();
+        ++executed;
+        if (watchdogLimit_ && idleCycles_ >= watchdogLimit_) {
+            if (done) {
+                std::ostringstream os;
+                os << "no activity for " << idleCycles_
+                   << " cycles at cycle " << now_
+                   << " with unfinished work (" << objects_.size()
+                   << " components)";
+                panic("deadlock watchdog: %s", os.str().c_str());
+            }
+            // Without a completion predicate, quiescence simply
+            // means there is nothing left to simulate.
+            break;
+        }
+    }
+    return executed;
+}
+
+} // namespace nifdy

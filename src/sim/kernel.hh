@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-synchronous simulation kernel.
+ *
+ * Every component implements Steppable and is advanced exactly once
+ * per simulated cycle. Inter-component communication goes through
+ * Channel objects whose contents only become visible at a later
+ * cycle, so the order in which components step within one cycle is
+ * immaterial -- this mirrors the paper's fully synchronous simulator
+ * ("Each cycle is simulated explicitly and synchronously by all
+ * objects").
+ */
+
+#ifndef NIFDY_SIM_KERNEL_HH
+#define NIFDY_SIM_KERNEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+/** Anything advanced once per cycle by the Kernel. */
+class Steppable
+{
+  public:
+    virtual ~Steppable() = default;
+
+    /** Advance one cycle. @param now the cycle being executed. */
+    virtual void step(Cycle now) = 0;
+};
+
+/**
+ * The simulation engine: a registry of Steppable components and a
+ * run loop with a no-progress watchdog.
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Register a component (non-owning; must outlive the kernel). */
+    void add(Steppable *obj, std::string name = "");
+
+    /** Current simulated cycle (the next one to execute). */
+    Cycle now() const { return now_; }
+
+    /** Execute exactly one cycle. */
+    void step();
+
+    /**
+     * Run until @p done returns true or @p maxCycles have executed.
+     * @return the cycle count at exit.
+     *
+     * If no component reports activity for watchdogLimit() cycles
+     * while the predicate is still false, the kernel panics with the
+     * registered component names -- this catches protocol or routing
+     * deadlocks in simulations that should otherwise make progress.
+     */
+    Cycle run(Cycle maxCycles,
+              const std::function<bool()> &done = nullptr);
+
+    /**
+     * Components call this whenever they make observable progress
+     * (move a flit, deliver a packet, consume a busy cycle). Used
+     * only by the deadlock watchdog.
+     */
+    void noteActivity() { activeThisCycle_ = true; }
+
+    /** Cycles of global inactivity tolerated before panicking. */
+    void setWatchdogLimit(Cycle limit) { watchdogLimit_ = limit; }
+    Cycle watchdogLimit() const { return watchdogLimit_; }
+
+  private:
+    Cycle now_ = 0;
+    bool activeThisCycle_ = false;
+    Cycle idleCycles_ = 0;
+    Cycle watchdogLimit_ = 200000;
+    std::vector<Steppable *> objects_;
+    std::vector<std::string> names_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_KERNEL_HH

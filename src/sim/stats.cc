@@ -1,0 +1,107 @@
+#include "sim/stats.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    ++count_;
+    sum_ += v;
+    int b = v < 2 ? 0 : std::bit_width(v) - 1;
+    if (buckets_.size() <= static_cast<std::size_t>(b))
+        buckets_.resize(b + 1, 0);
+    ++buckets_[b];
+}
+
+std::uint64_t
+Distribution::bucket(int b) const
+{
+    if (b < 0 || static_cast<std::size_t>(b) >= buckets_.size())
+        return 0;
+    return buckets_[b];
+}
+
+void
+Distribution::reset()
+{
+    count_ = sum_ = min_ = max_ = 0;
+    buckets_.clear();
+}
+
+void
+TimeSeries::record(Cycle now, std::vector<std::uint32_t> row)
+{
+    panic_if(row.size() != static_cast<std::size_t>(width_),
+             "TimeSeries row width %zu != %d", row.size(), width_);
+    times_.push_back(now);
+    rows_.push_back(std::move(row));
+    nextSample_ = now + interval_;
+}
+
+const std::vector<std::uint32_t> &
+TimeSeries::row(std::size_t i) const
+{
+    return rows_.at(i);
+}
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, Counter(name)).first;
+    return it->second;
+}
+
+Distribution &
+StatSet::distribution(const std::string &name)
+{
+    auto it = dists_.find(name);
+    if (it == dists_.end())
+        it = dists_.emplace(name, Distribution(name)).first;
+    return it->second;
+}
+
+std::vector<const Counter *>
+StatSet::counters() const
+{
+    std::vector<const Counter *> out;
+    for (const auto &kv : counters_)
+        out.push_back(&kv.second);
+    return out;
+}
+
+std::vector<const Distribution *>
+StatSet::distributions() const
+{
+    std::vector<const Distribution *> out;
+    for (const auto &kv : dists_)
+        out.push_back(&kv.second);
+    return out;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : dists_) {
+        const Distribution &d = kv.second;
+        os << kv.first << " count=" << d.count() << " mean=" << d.mean()
+           << " min=" << d.min() << " max=" << d.max() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nifdy

@@ -1,0 +1,102 @@
+#include "sim/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nifdy
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::num(long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(unsigned long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < width.size(); ++i)
+            total += width[i] + (i + 1 < width.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace nifdy

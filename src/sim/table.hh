@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned text-table printer used by the bench harnesses to emit
+ * paper-style result tables (and optional CSV).
+ */
+
+#ifndef NIFDY_SIM_TABLE_HH
+#define NIFDY_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace nifdy
+{
+
+/** A simple column-aligned table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void header(std::vector<std::string> cols);
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+    static std::string num(long v);
+    static std::string num(unsigned long v);
+
+    /** Render aligned text. */
+    std::string str() const;
+    /** Render comma-separated values (header + rows, no title). */
+    std::string csv() const;
+    /** Print str() to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_TABLE_HH

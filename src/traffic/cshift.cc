@@ -1,0 +1,90 @@
+#include "traffic/cshift.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+CShiftWorkload::CShiftWorkload(Processor &proc, MessageLayer &msg,
+                               Barrier &barrier, int numNodes,
+                               const CShiftParams &params,
+                               CShiftBoard &board, std::uint64_t seed)
+    : Workload(proc, msg, &barrier, seed), params_(params),
+      numNodes_(numNodes), board_(board)
+{
+    panic_if(numNodes_ < 2, "C-shift needs >= 2 nodes");
+    expectedPackets_ =
+        (numNodes_ - 1) * msg_.packetsForWords(params_.wordsPerPair);
+    startPhase(0);
+}
+
+void
+CShiftWorkload::startPhase(Cycle now)
+{
+    (void)now;
+    ++phase_;
+    if (phase_ >= numNodes_) {
+        sentAll_ = true;
+        return;
+    }
+    curDst_ = (me() + phase_) % numNodes_;
+    msg_.enqueueMessage(curDst_, params_.wordsPerPair, params_.cls);
+}
+
+void
+CShiftWorkload::onReceive(const Packet &pkt, Cycle now)
+{
+    (void)pkt;
+    (void)now;
+    ++board_.received[me()];
+}
+
+bool
+CShiftWorkload::done() const
+{
+    return sentAll_ &&
+           packetsAccepted_ >=
+               static_cast<std::uint64_t>(expectedPackets_);
+}
+
+void
+CShiftWorkload::tick(Cycle now)
+{
+    if (receiveOne(now))
+        return;
+
+    if (sentAll_) {
+        if (!done())
+            pollNetwork(now);
+        return;
+    }
+
+    if (waitingBarrier_) {
+        if (barrier_->released(me(), now)) {
+            waitingBarrier_ = false;
+            startPhase(now);
+        } else {
+            pollNetwork(now);
+        }
+        return;
+    }
+
+    if (msg_.allSent()) {
+        if (!params_.barriers) {
+            startPhase(now);
+            return;
+        }
+        // Strata-style: barriers keep the *senders* in lock step
+        // ([BK94] inserts barriers between block transfers); a slow
+        // receiver may still be draining when the next phase opens.
+        barrier_->arrive(me(), now);
+        waitingBarrier_ = true;
+        return;
+    }
+
+    if (msg_.pump(now))
+        return;
+    pollNetwork(now);
+}
+
+} // namespace nifdy

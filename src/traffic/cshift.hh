@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cyclic-shift all-to-all communication ([BK94], paper Section
+ * 4.3): P-1 phases; in phase p, node i sends a fixed transfer to
+ * node (i + p) mod P. Without barriers, nodes that finish early
+ * move on, so a receiver can end up paired with two senders --
+ * the congestion pathology Figure 5 visualizes. Optional barriers
+ * between phases reproduce the Strata mitigation.
+ */
+
+#ifndef NIFDY_TRAFFIC_CSHIFT_HH
+#define NIFDY_TRAFFIC_CSHIFT_HH
+
+#include <memory>
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct CShiftParams
+{
+    /** Payload words sent to each partner per phase. */
+    int wordsPerPair = 120;
+    /** Insert a barrier between phases (Strata-style). */
+    bool barriers = false;
+    NetClass cls = NetClass::request;
+};
+
+/**
+ * Shared bookkeeping for the heat-map instrumentation. `injected`
+ * must be wired to every NIC via Nic::setInjectBoard() so that
+ * pending counts reflect packets in the network (the paper's
+ * Figure 5 metric), not packets parked in NIC pools.
+ */
+struct CShiftBoard
+{
+    explicit CShiftBoard(int numNodes)
+        : injected(numNodes, 0), received(numNodes, 0)
+    {}
+    /** Packets injected into the network, by destination. */
+    std::vector<std::uint32_t> injected;
+    /** Packets accepted by each receiver. */
+    std::vector<std::uint32_t> received;
+
+    /** Packets inside the network headed for receiver @p r. */
+    int pendingFor(NodeId r) const
+    {
+        return static_cast<int>(injected[r]) -
+               static_cast<int>(received[r]);
+    }
+};
+
+class CShiftWorkload : public Workload
+{
+  public:
+    CShiftWorkload(Processor &proc, MessageLayer &msg, Barrier &barrier,
+                   int numNodes, const CShiftParams &params,
+                   CShiftBoard &board, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override;
+
+    /** Packets this node will receive over the whole pattern. */
+    int expectedPackets() const { return expectedPackets_; }
+    int phase() const { return phase_; }
+
+  protected:
+    void onReceive(const Packet &pkt, Cycle now) override;
+
+  private:
+    void startPhase(Cycle now);
+
+    CShiftParams params_;
+    int numNodes_;
+    CShiftBoard &board_;
+    int phase_ = 0; //!< current shift distance (1 .. P-1)
+    bool sentAll_ = false;
+    bool waitingBarrier_ = false;
+    int expectedPackets_;
+    NodeId curDst_ = invalidNode;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_CSHIFT_HH

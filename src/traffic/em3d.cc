@@ -1,0 +1,146 @@
+#include "traffic/em3d.hh"
+
+#include <map>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Em3dParams
+Em3dParams::light()
+{
+    Em3dParams p;
+    p.nNodes = 200;
+    p.degree = 10;
+    p.localPercent = 80;
+    p.distSpan = 5;
+    return p;
+}
+
+Em3dParams
+Em3dParams::heavy()
+{
+    Em3dParams p;
+    p.nNodes = 100;
+    p.degree = 20;
+    p.localPercent = 3;
+    p.distSpan = 20;
+    return p;
+}
+
+Em3dGraph::Em3dGraph(int numNodes, const Em3dParams &params,
+                     std::uint64_t seed)
+{
+    panic_if(numNodes < 2, "EM3D needs >= 2 processors");
+    Rng rng(seed, 0xe3d);
+    int span = std::min(params.distSpan, numNodes - 1);
+    for (int half = 0; half < 2; ++half)
+        plans_[half].resize(numNodes);
+
+    // For each half-step, generate the remote arcs of every
+    // processor's graph nodes and batch them by remote owner. The
+    // owner of a consumed value sends it, so processor p's arc to a
+    // remote owner q means q sends one word to p.
+    for (int half = 0; half < 2; ++half) {
+        // in[p][q]: words processor p consumes from owner q.
+        std::vector<std::map<NodeId, int>> in(numNodes);
+        for (NodeId p = 0; p < numNodes; ++p) {
+            long arcs = static_cast<long>(params.nNodes) * params.degree;
+            long localArcs = 0;
+            for (long a = 0; a < arcs; ++a) {
+                if (rng.nextBounded(100) <
+                    static_cast<std::uint64_t>(params.localPercent)) {
+                    ++localArcs;
+                    continue;
+                }
+                long delta = rng.range(1, span);
+                if (rng.chance(0.5))
+                    delta = numNodes - delta;
+                NodeId owner = static_cast<NodeId>((p + delta) %
+                                                   numNodes);
+                ++in[p][owner];
+            }
+            plans_[half][p].compute =
+                static_cast<Cycle>(arcs * params.computePerArc);
+            (void)localArcs;
+        }
+        for (NodeId p = 0; p < numNodes; ++p) {
+            for (const auto &kv : in[p]) {
+                NodeId owner = kv.first;
+                int words = kv.second;
+                plans_[half][owner].sends.emplace_back(p, words);
+                plans_[half][p].expectedWords += words;
+                totalRemoteWords_ += words;
+            }
+        }
+    }
+}
+
+Em3dWorkload::Em3dWorkload(Processor &proc, MessageLayer &msg,
+                           Barrier &barrier, const Em3dGraph &graph,
+                           std::uint64_t seed)
+    : Workload(proc, msg, &barrier, seed), graph_(graph)
+{
+    startHalf(0);
+}
+
+void
+Em3dWorkload::startHalf(Cycle now)
+{
+    (void)now;
+    computed_ = false;
+    waitingBarrier_ = false;
+    wordsAtHalfStart_ = wordsAccepted_;
+    const Em3dGraph::HalfPlan &plan = graph_.plan(me(), half_);
+    for (const auto &dw : plan.sends)
+        msg_.enqueueMessage(dw.first, dw.second,
+                            NetClass::request);
+}
+
+void
+Em3dWorkload::tick(Cycle now)
+{
+    if (receiveOne(now))
+        return;
+
+    const Em3dGraph::HalfPlan &plan = graph_.plan(me(), half_);
+
+    if (waitingBarrier_) {
+        if (barrier_->released(me(), now)) {
+            half_ ^= 1;
+            if (half_ == 0)
+                ++iterations_;
+            startHalf(now);
+        } else {
+            pollNetwork(now);
+        }
+        return;
+    }
+
+    if (!computed_) {
+        // Local update work for this half-step.
+        computed_ = true;
+        proc_.compute(plan.compute, now);
+        return;
+    }
+
+    if (!msg_.allSent()) {
+        if (msg_.pump(now))
+            return;
+        pollNetwork(now);
+        return;
+    }
+
+    // Sent everything: wait for all ghost values of this half.
+    if (wordsAccepted_ - wordsAtHalfStart_ <
+        static_cast<std::uint64_t>(plan.expectedWords)) {
+        pollNetwork(now);
+        return;
+    }
+
+    barrier_->arrive(me(), now);
+    waitingBarrier_ = true;
+}
+
+} // namespace nifdy

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * EM3D ([CDG+93], paper Section 4.4): an irregular bipartite graph
+ * of E and H nodes distributed over the processors. Each iteration
+ * alternates two half-steps: E values are recomputed from H
+ * neighbours and vice versa. Remote arcs require the owner of the
+ * value to send it to the consumer; arcs to the same remote
+ * processor are batched into one (multi-packet) ghost-exchange
+ * message. The graph is generated from the paper's parameters
+ * (n_nodes, d_nodes, local_p, dist_span) with a dedicated RNG so
+ * every configuration sees identical traffic.
+ */
+
+#ifndef NIFDY_TRAFFIC_EM3D_HH
+#define NIFDY_TRAFFIC_EM3D_HH
+
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct Em3dParams
+{
+    int nNodes = 200;    //!< graph nodes per processor per side
+    int degree = 10;     //!< arcs per graph node
+    int localPercent = 80; //!< percentage of arcs staying local
+    int distSpan = 5;    //!< remote arcs reach at most this far
+    int computePerArc = 2; //!< cycles of local work per arc
+    NetClass cls = NetClass::request;
+
+    /** Figure 7's parameter set (little communication). */
+    static Em3dParams light();
+    /** Figure 8's parameter set (heavy communication). */
+    static Em3dParams heavy();
+};
+
+/**
+ * The distributed graph, reduced to its communication plan: per
+ * processor and half-step, how many payload words go to each
+ * neighbour processor and how many are expected back.
+ */
+class Em3dGraph
+{
+  public:
+    Em3dGraph(int numNodes, const Em3dParams &params,
+              std::uint64_t seed);
+
+    struct HalfPlan
+    {
+        /** (destination, payload words) message list. */
+        std::vector<std::pair<NodeId, int>> sends;
+        /** Words expected from remote owners this half-step. */
+        int expectedWords = 0;
+        /** Local computation cycles for this half-step. */
+        Cycle compute = 0;
+    };
+
+    const HalfPlan &plan(NodeId node, int half) const
+    {
+        return plans_[half][node];
+    }
+
+    int numNodes() const
+    {
+        return static_cast<int>(plans_[0].size());
+    }
+
+    /** Total remote words exchanged per iteration (both halves). */
+    long totalRemoteWords() const { return totalRemoteWords_; }
+
+  private:
+    std::vector<HalfPlan> plans_[2];
+    long totalRemoteWords_ = 0;
+};
+
+class Em3dWorkload : public Workload
+{
+  public:
+    Em3dWorkload(Processor &proc, MessageLayer &msg, Barrier &barrier,
+                 const Em3dGraph &graph, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override { return false; } //!< iterates forever
+
+    /** Completed iterations on this node. */
+    int iterations() const { return iterations_; }
+
+  private:
+    void startHalf(Cycle now);
+
+    const Em3dGraph &graph_;
+    int half_ = 0;
+    int iterations_ = 0;
+    bool computed_ = false;
+    bool waitingBarrier_ = false;
+    std::uint64_t wordsAtHalfStart_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_EM3D_HH

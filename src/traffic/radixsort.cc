@@ -1,0 +1,114 @@
+#include "traffic/radixsort.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+RadixScanWorkload::RadixScanWorkload(Processor &proc, MessageLayer &msg,
+                                     int numNodes,
+                                     const RadixParams &params,
+                                     std::uint64_t seed)
+    : Workload(proc, msg, nullptr, seed), params_(params),
+      numNodes_(numNodes)
+{
+    panic_if(numNodes_ < 2, "scan needs >= 2 processors");
+}
+
+bool
+RadixScanWorkload::done() const
+{
+    if (me() == numNodes_ - 1)
+        return packetsAccepted_ >=
+               static_cast<std::uint64_t>(params_.buckets);
+    int inbound = me() == 0 ? 0 : params_.buckets;
+    return sent_ >= params_.buckets &&
+           packetsAccepted_ >= static_cast<std::uint64_t>(inbound) &&
+           msg_.allSent();
+}
+
+void
+RadixScanWorkload::tick(Cycle now)
+{
+    if (receiveOne(now))
+        return;
+    if (done())
+        return;
+
+    // A bucket may be forwarded once the partial sum from upstream
+    // has arrived (processor 0 originates everything).
+    std::uint64_t available =
+        me() == 0 ? params_.buckets : packetsAccepted_;
+    bool isLast = me() == numNodes_ - 1;
+
+    if (!isLast && msg_.backlog() == 0 &&
+        sent_ < params_.buckets &&
+        static_cast<std::uint64_t>(sent_) < available) {
+        proc_.compute(params_.addCost, now);
+        msg_.enqueueMessage(me() + 1, 1, params_.cls);
+        return;
+    }
+    if (!msg_.allSent()) {
+        if (msg_.pump(now)) {
+            ++sent_;
+            if (params_.delay > 0)
+                proc_.compute(params_.delay, now);
+            return;
+        }
+        pollNetwork(now);
+        return;
+    }
+    pollNetwork(now);
+}
+
+RadixCoalesceWorkload::RadixCoalesceWorkload(
+    Processor &proc, MessageLayer &msg,
+    const std::vector<NodeId> &destinations, int expected,
+    const RadixParams &params, std::uint64_t seed)
+    : Workload(proc, msg, nullptr, seed), params_(params),
+      dests_(destinations), expected_(expected)
+{
+}
+
+std::vector<std::vector<NodeId>>
+RadixCoalesceWorkload::makePlan(int numNodes, int keysPerProc,
+                                std::uint64_t seed)
+{
+    std::vector<std::vector<NodeId>> plan(numNodes);
+    Rng rng(seed, 0xc0a1);
+    for (int n = 0; n < numNodes; ++n) {
+        plan[n].reserve(keysPerProc);
+        for (int k = 0; k < keysPerProc; ++k)
+            plan[n].push_back(
+                static_cast<NodeId>(rng.nextBounded(numNodes)));
+    }
+    return plan;
+}
+
+bool
+RadixCoalesceWorkload::done() const
+{
+    return next_ >= dests_.size() && msg_.allSent() &&
+           packetsAccepted_ >= static_cast<std::uint64_t>(expected_);
+}
+
+void
+RadixCoalesceWorkload::tick(Cycle now)
+{
+    if (receiveOne(now))
+        return;
+    if (done())
+        return;
+
+    if (msg_.backlog() == 0 && next_ < dests_.size()) {
+        msg_.enqueueMessage(dests_[next_], 1, params_.cls);
+        ++next_;
+    }
+    if (!msg_.allSent()) {
+        if (msg_.pump(now))
+            return;
+    }
+    pollNetwork(now);
+}
+
+} // namespace nifdy

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Radix-sort communication phases ([Dus94], paper Section 4.5).
+ *
+ * Scan: a pipelined scan-add over the processors, one single-packet
+ * message per bucket from processor i to i+1. Without inserted
+ * delays, an upstream processor's back-to-back sends keep its
+ * successor continuously receiving, serializing the pipeline; the
+ * "with delay" variant inserts idle cycles between consecutive
+ * sends. Coalesce: every key goes to a random destination as a
+ * single-packet message.
+ */
+
+#ifndef NIFDY_TRAFFIC_RADIXSORT_HH
+#define NIFDY_TRAFFIC_RADIXSORT_HH
+
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct RadixParams
+{
+    int buckets = 256;   //!< 8-bit radix
+    int delay = 0;       //!< cycles inserted between sends
+    int keysPerProc = 256; //!< coalesce-phase keys per node
+    int addCost = 8;     //!< cycles to fold one bucket value
+    NetClass cls = NetClass::request;
+};
+
+/** The scan (prefix-add) phase. */
+class RadixScanWorkload : public Workload
+{
+  public:
+    RadixScanWorkload(Processor &proc, MessageLayer &msg, int numNodes,
+                      const RadixParams &params, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override;
+
+  private:
+    RadixParams params_;
+    int numNodes_;
+    int sent_ = 0; //!< buckets forwarded downstream
+};
+
+/** The coalesce (key-routing) phase. */
+class RadixCoalesceWorkload : public Workload
+{
+  public:
+    /**
+     * @param expected number of keys that will arrive at this node
+     * (precomputed from the shared destination plan).
+     */
+    RadixCoalesceWorkload(Processor &proc, MessageLayer &msg,
+                          const std::vector<NodeId> &destinations,
+                          int expected, const RadixParams &params,
+                          std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override;
+
+    /**
+     * Build the per-node random destination plan for @p numNodes
+     * processors (deterministic in @p seed).
+     */
+    static std::vector<std::vector<NodeId>>
+    makePlan(int numNodes, int keysPerProc, std::uint64_t seed);
+
+  private:
+    RadixParams params_;
+    std::vector<NodeId> dests_;
+    std::size_t next_ = 0;
+    int expected_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_RADIXSORT_HH

@@ -1,0 +1,122 @@
+#include "traffic/synthetic.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+SyntheticParams
+SyntheticParams::heavy()
+{
+    SyntheticParams p;
+    p.sendProb = 1.0;
+    p.lengthDist = {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+    p.deafProb = 0.0;
+    return p;
+}
+
+SyntheticParams
+SyntheticParams::light()
+{
+    SyntheticParams p;
+    p.sendProb = 1.0 / 3.0;
+    // Mostly short messages, but the 10- and 20-packet messages
+    // account for most packets overall.
+    p.lengthDist = {{1, 40}, {2, 20}, {3, 15}, {10, 15}, {20, 10}};
+    p.deafProb = 0.0005;
+    return p;
+}
+
+SyntheticWorkload::SyntheticWorkload(Processor &proc, MessageLayer &msg,
+                                     Barrier &barrier, int numNodes,
+                                     const SyntheticParams &params,
+                                     std::uint64_t seed)
+    : Workload(proc, msg, &barrier, seed), params_(params),
+      numNodes_(numNodes), deafRng_(seed, 0xdeaf + proc.id())
+{
+    panic_if(numNodes_ < 2, "synthetic traffic needs >= 2 nodes");
+    for (const auto &lw : params_.lengthDist)
+        totalWeight_ += lw.second;
+    panic_if(totalWeight_ <= 0, "empty length distribution");
+    startPhase();
+}
+
+void
+SyntheticWorkload::startPhase()
+{
+    ++phase_;
+    state_ = State::sending;
+    sender_ = params_.sendProb >= 1.0 || rng_.chance(params_.sendProb);
+    packetsLeft_ =
+        sender_ ? static_cast<int>(rng_.range(params_.packetsPerPhaseLo,
+                                              params_.packetsPerPhaseHi))
+                : 0;
+}
+
+int
+SyntheticWorkload::drawLength()
+{
+    int pick = static_cast<int>(rng_.nextBounded(totalWeight_));
+    for (const auto &lw : params_.lengthDist) {
+        pick -= lw.second;
+        if (pick < 0)
+            return lw.first;
+    }
+    return params_.lengthDist.back().first;
+}
+
+NodeId
+SyntheticWorkload::drawDest()
+{
+    if (params_.hotspotProb > 0 && params_.hotspot != me() &&
+        rng_.chance(params_.hotspotProb))
+        return params_.hotspot;
+    NodeId d = static_cast<NodeId>(rng_.nextBounded(numNodes_ - 1));
+    return d >= me() ? d + 1 : d;
+}
+
+void
+SyntheticWorkload::tick(Cycle now)
+{
+    // Pseudo-random non-responsive periods (light pattern).
+    if (params_.deafProb > 0 && deafRng_.chance(params_.deafProb)) {
+        proc_.compute(
+            static_cast<Cycle>(deafRng_.range(params_.deafLo,
+                                              params_.deafHi)),
+            now);
+        return;
+    }
+
+    // Drain arrivals before anything else.
+    if (receiveOne(now))
+        return;
+
+    if (state_ == State::sending) {
+        if (packetsLeft_ == 0 && msg_.allSent()) {
+            barrier_->arrive(me(), now);
+            state_ = State::atBarrier;
+            return;
+        }
+        if (msg_.backlog() == 0 && packetsLeft_ > 0) {
+            // All packets of one message go to the same destination
+            // consecutively; then a new destination is chosen.
+            int len = std::min(drawLength(), packetsLeft_);
+            packetsLeft_ -= len;
+            msg_.enqueuePackets(drawDest(), len, params_.cls);
+        }
+        if (msg_.pump(now))
+            return;
+        // Blocked on the NIC: poll so receiving still progresses.
+        pollNetwork(now);
+        return;
+    }
+
+    // Waiting at the barrier: keep polling.
+    if (barrier_->released(me(), now)) {
+        startPhase();
+        return;
+    }
+    pollNetwork(now);
+}
+
+} // namespace nifdy

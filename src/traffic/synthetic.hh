@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Section 4.1 synthetic benchmark: bursty bulk-synchronous
+ * traffic in barrier-separated phases.
+ *
+ * Heavy pattern: every node sends each phase; message lengths are
+ * uniform on [1, 5] packets. Light pattern: each node sends with
+ * probability 1/3 per phase; the length distribution mixes short
+ * messages with 10- and 20-packet ones (long messages carry most
+ * packets), and nodes pseudo-randomly ignore the network for a
+ * while. Traffic decisions come from a dedicated RNG so the same
+ * bursts are generated regardless of network and NIC configuration.
+ */
+
+#ifndef NIFDY_TRAFFIC_SYNTHETIC_HH
+#define NIFDY_TRAFFIC_SYNTHETIC_HH
+
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct SyntheticParams
+{
+    /** Packets a sender pushes per phase, drawn uniformly. */
+    int packetsPerPhaseLo = 100;
+    int packetsPerPhaseHi = 300;
+    /** Probability that a node sends during a phase. */
+    double sendProb = 1.0;
+    /** Message length distribution: (packets, weight) pairs. */
+    std::vector<std::pair<int, int>> lengthDist{
+        {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+    /** Probability per free tick of going deaf (light pattern). */
+    double deafProb = 0.0;
+    int deafLo = 200;
+    int deafHi = 1500;
+    /**
+     * Hot-spot traffic (paper Section 1.1: "hot spots in the
+     * network may cause unnecessary blocking"): each message
+     * targets the hot node with this probability.
+     */
+    double hotspotProb = 0.0;
+    NodeId hotspot = 0;
+    NetClass cls = NetClass::request;
+
+    /** The paper's heavy pattern. */
+    static SyntheticParams heavy();
+    /** The paper's light pattern. */
+    static SyntheticParams light();
+};
+
+class SyntheticWorkload : public Workload
+{
+  public:
+    SyntheticWorkload(Processor &proc, MessageLayer &msg,
+                      Barrier &barrier, int numNodes,
+                      const SyntheticParams &params,
+                      std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override { return false; } //!< runs forever
+
+    int phase() const { return phase_; }
+
+  private:
+    void startPhase();
+    int drawLength();
+    NodeId drawDest();
+
+    SyntheticParams params_;
+    int numNodes_;
+    Rng deafRng_; //!< timing-dependent draws live apart from rng_
+    int totalWeight_ = 0;
+
+    enum class State
+    {
+        sending,
+        atBarrier
+    };
+    State state_ = State::sending;
+    int phase_ = 0;
+    bool sender_ = false;
+    int packetsLeft_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_SYNTHETIC_HH

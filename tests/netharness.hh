@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared test harness: attaches permissive BufferedNic endpoints to
+ * every node of a topology so tests can inject raw packets and
+ * observe deliveries without the NIFDY protocol or processors.
+ */
+
+#ifndef NIFDY_TESTS_NETHARNESS_HH
+#define NIFDY_TESTS_NETHARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nic/plainnic.hh"
+
+namespace nifdy
+{
+
+class NetHarness
+{
+  public:
+    explicit NetHarness(const std::string &topology,
+                        NetworkParams np = NetworkParams())
+    {
+        net = makeNetwork(topology, np);
+        net->addToKernel(kernel);
+        const NetworkParams &p = net->params();
+        for (NodeId n = 0; n < net->numNodes(); ++n) {
+            NicParams nicp;
+            nicp.flitBytes = p.flitBytes;
+            nicp.vcsPerClass = p.vcsPerClass;
+            nicp.ejectDepth = p.ejectDepth;
+            nicp.arrivalFifo = 100000;
+            nicp.seed = p.seed;
+            nics.push_back(std::make_unique<BufferedNic>(
+                n, net->nodePorts(n), nicp, pool, 100000));
+            nics.back()->setKernel(&kernel);
+            kernel.add(nics.back().get());
+        }
+    }
+
+    /** Queue one packet for injection at @p src. */
+    Packet *
+    send(NodeId src, NodeId dst, int bytes = 32,
+         NetClass cls = NetClass::request)
+    {
+        Packet *p = pool.alloc();
+        p->src = src;
+        p->dst = dst;
+        p->netClass = cls;
+        p->sizeBytes = bytes;
+        p->payloadWords = bytes / bytesPerWord;
+        nics[src]->send(p, kernel.now());
+        return p;
+    }
+
+    void run(Cycle cycles) { kernel.run(cycles); }
+
+    /**
+     * Run until nothing is in transit anywhere (delivered packets
+     * may still sit in arrivals FIFOs) or the budget expires.
+     */
+    void
+    runUntilQuiet(Cycle maxCycles = 1000000)
+    {
+        kernel.run(maxCycles, [this] {
+            for (const auto &nic : nics)
+                if (!nic->transitIdle())
+                    return false;
+            return net->quiescent();
+        });
+    }
+
+    /** Pop every delivered packet at @p node, releasing nothing. */
+    std::vector<Packet *>
+    collect(NodeId node)
+    {
+        std::vector<Packet *> got;
+        while (Packet *p = nics[node]->pollReceive(kernel.now()))
+            got.push_back(p);
+        return got;
+    }
+
+    /** Collect + release, returning how many packets arrived. */
+    int
+    drainCount(NodeId node)
+    {
+        int n = 0;
+        for (Packet *p : collect(node)) {
+            pool.release(p);
+            ++n;
+        }
+        return n;
+    }
+
+    Kernel kernel;
+    PacketPool pool;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<BufferedNic>> nics;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TESTS_NETHARNESS_HH

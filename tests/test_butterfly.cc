@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Butterfly / multibutterfly topology tests: wiring balance,
+ * all-pairs delivery, in-order property of the dilation-1
+ * butterfly, and path diversity of the dilation-2 multibutterfly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/butterfly.hh"
+#include "netharness.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+TEST(Butterfly, Structure)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    auto net = makeNetwork("butterfly", np);
+    auto *bf = dynamic_cast<ButterflyNetwork *>(net.get());
+    ASSERT_NE(bf, nullptr);
+    EXPECT_EQ(bf->stages(), 3);
+    EXPECT_EQ(bf->dilation(), 1);
+    EXPECT_EQ(bf->numRouters(), 48);
+    EXPECT_EQ(bf->distance(0, 63), 3);
+}
+
+TEST(Butterfly, MultibutterflyStructure)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    auto net = makeNetwork("multibutterfly", np);
+    auto *bf = dynamic_cast<ButterflyNetwork *>(net.get());
+    ASSERT_NE(bf, nullptr);
+    EXPECT_EQ(bf->dilation(), 2);
+}
+
+TEST(Butterfly, RouteDigits)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    ButterflyNetwork net([&] {
+        np.radix = 4;
+        return np;
+    }());
+    // dst 0b...: stage 0 uses the most significant base-4 digit.
+    EXPECT_EQ(net.routeDigit(63, 0), 3);
+    EXPECT_EQ(net.routeDigit(63, 2), 3);
+    EXPECT_EQ(net.routeDigit(16, 0), 1);
+    EXPECT_EQ(net.routeDigit(16, 1), 0);
+    EXPECT_EQ(net.routeDigit(7, 1), 1);
+    EXPECT_EQ(net.routeDigit(7, 2), 3);
+}
+
+TEST(Butterfly, WrongSizeRejected)
+{
+    NetworkParams np;
+    np.numNodes = 48;
+    EXPECT_THROW(makeNetwork("butterfly", np), std::runtime_error);
+}
+
+TEST(Butterfly, AllPairsDelivery)
+{
+    NetworkParams np;
+    np.numNodes = 16;
+    NetHarness h("butterfly", np);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            h.send(s, d); // self-sends cross the network too
+    h.runUntilQuiet();
+    for (NodeId d = 0; d < 16; ++d)
+        EXPECT_EQ(h.drainCount(d), 16) << "node " << d;
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(Butterfly, AllPairsDelivery64)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("butterfly", np);
+    for (NodeId s = 0; s < 64; ++s)
+        for (int k = 1; k <= 8; ++k)
+            h.send(s, (s * 5 + k * 11) % 64);
+    h.runUntilQuiet(4000000);
+    int total = 0;
+    for (NodeId d = 0; d < 64; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 64 * 8);
+}
+
+TEST(Multibutterfly, AllPairsDelivery)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("multibutterfly", np);
+    for (NodeId s = 0; s < 64; ++s)
+        for (NodeId d = 0; d < 64; d += 7)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet(4000000);
+    int total = 0;
+    for (NodeId d = 0; d < 64; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 64 * 10 - 10);
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(Butterfly, Dilation1KeepsOrder)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("butterfly", np);
+    std::vector<Packet *> sent;
+    for (int i = 0; i < 30; ++i)
+        sent.push_back(h.send(5, 42));
+    h.runUntilQuiet();
+    auto got = h.collect(42);
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], sent[i]);
+    for (Packet *p : got)
+        h.pool.release(p);
+}
+
+TEST(Multibutterfly, UsesBothDilatedChannels)
+{
+    // Saturating one source/destination pair must exercise more
+    // stage-1 routers than the dilation-1 butterfly would.
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("multibutterfly", np);
+    for (int i = 0; i < 60; ++i)
+        h.send(3, 60);
+    h.runUntilQuiet(4000000);
+    EXPECT_EQ(h.drainCount(60), 60);
+    // Stage-1 routers have ids 16..31.
+    int used = 0;
+    for (int r = 16; r < 32; ++r)
+        used += h.net->router(r).flitsSwitched() > 0 ? 1 : 0;
+    EXPECT_GE(used, 2);
+}
+
+TEST(Butterfly, TinyRadixNetworkWorks)
+{
+    NetworkParams np;
+    np.numNodes = 4;
+    NetHarness h("butterfly", np);
+    for (NodeId s = 0; s < 4; ++s)
+        for (NodeId d = 0; d < 4; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    int total = 0;
+    for (NodeId d = 0; d < 4; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 12);
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Fat tree topology tests: structure of the full 4-ary tree and the
+ * CM-5 reduced variant, distances, all-pairs delivery, adaptive
+ * upward spreading, and store-and-forward behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fattree.hh"
+#include "netharness.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+TEST(FatTree, FullTreeStructure)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    auto net = makeNetwork("fattree", np);
+    auto *ft = dynamic_cast<FatTreeNetwork *>(net.get());
+    ASSERT_NE(ft, nullptr);
+    EXPECT_EQ(ft->levels(), 3);
+    EXPECT_EQ(ft->routersAtLevel(0), 16);
+    EXPECT_EQ(ft->routersAtLevel(1), 16);
+    EXPECT_EQ(ft->routersAtLevel(2), 16);
+    EXPECT_EQ(ft->numRouters(), 48);
+}
+
+TEST(FatTree, Cm5ReducedStructure)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    auto net = makeNetwork("cm5", np);
+    auto *ft = dynamic_cast<FatTreeNetwork *>(net.get());
+    ASSERT_NE(ft, nullptr);
+    // Two parents at the first two levels: 16, 8, 4 routers.
+    EXPECT_EQ(ft->routersAtLevel(0), 16);
+    EXPECT_EQ(ft->routersAtLevel(1), 8);
+    EXPECT_EQ(ft->routersAtLevel(2), 4);
+    EXPECT_TRUE(net->params().timeSliced);
+}
+
+TEST(FatTree, Distances)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    FatTreeNetwork net([&] {
+        np.upArity = {4, 4, 4};
+        return np;
+    }());
+    EXPECT_EQ(net.distance(0, 0), 0);
+    EXPECT_EQ(net.distance(0, 1), 2);   // same leaf router
+    EXPECT_EQ(net.distance(0, 4), 4);   // one level up
+    EXPECT_EQ(net.distance(0, 63), 6);  // full height
+    EXPECT_EQ(net.maxDistance(), 6);
+    EXPECT_GT(net.averageDistance(), 5.0);
+}
+
+TEST(FatTree, WrongSizeRejected)
+{
+    NetworkParams np;
+    np.numNodes = 48;
+    EXPECT_THROW(makeNetwork("fattree", np), std::runtime_error);
+}
+
+TEST(FatTree, AllPairsDelivery16)
+{
+    NetworkParams np;
+    np.numNodes = 16;
+    NetHarness h("fattree", np);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    for (NodeId d = 0; d < 16; ++d)
+        EXPECT_EQ(h.drainCount(d), 15) << "node " << d;
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(FatTree, AllPairsDelivery64)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("fattree", np);
+    for (NodeId s = 0; s < 64; ++s)
+        for (NodeId d = 0; d < 64; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet(4000000);
+    int total = 0;
+    for (NodeId d = 0; d < 64; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 64 * 63);
+}
+
+TEST(FatTree, Cm5AllPairsDelivery)
+{
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("cm5", np);
+    for (NodeId s = 0; s < 64; ++s) {
+        h.send(s, (s + 17) % 64);
+        h.send(s, (s + 31) % 64, 32, NetClass::reply);
+    }
+    h.runUntilQuiet(4000000);
+    int total = 0;
+    for (NodeId d = 0; d < 64; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 128);
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(FatTree, SafAllPairsDelivery)
+{
+    NetworkParams np;
+    np.numNodes = 16;
+    NetHarness h("fattree-saf", np);
+    EXPECT_TRUE(h.net->params().storeAndForward);
+    EXPECT_GE(h.net->params().bufDepth, 8);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    int total = 0;
+    for (NodeId d = 0; d < 16; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 16 * 15);
+}
+
+TEST(FatTree, SafSlowerThanCutThrough)
+{
+    auto timeOne = [](const std::string &topo) {
+        NetworkParams np;
+        np.numNodes = 64;
+        NetHarness h(topo, np);
+        h.send(0, 63);
+        h.runUntilQuiet();
+        return h.kernel.now();
+    };
+    Cycle ct = timeOne("fattree");
+    Cycle saf = timeOne("fattree-saf");
+    EXPECT_GT(saf, ct + 20); // whole-packet buffering per hop
+}
+
+TEST(FatTree, AdaptiveUpwardSpreadsLoad)
+{
+    // Many packets from the same source region must use multiple
+    // top-level routers.
+    NetworkParams np;
+    np.numNodes = 64;
+    NetHarness h("fattree", np);
+    auto *ft = dynamic_cast<FatTreeNetwork *>(h.net.get());
+    for (int i = 0; i < 40; ++i)
+        for (NodeId s = 0; s < 4; ++s)
+            h.send(s, 60 + static_cast<NodeId>(i % 4));
+    h.runUntilQuiet(4000000);
+    // Top level routers are ids 32..47; count how many moved flits.
+    int used = 0;
+    for (int r = 32; r < 48; ++r)
+        used += ft->router(r).flitsSwitched() > 0 ? 1 : 0;
+    EXPECT_GT(used, 4);
+    for (NodeId d = 60; d < 64; ++d)
+        h.drainCount(d);
+}
+
+TEST(FatTree, SixteenAndTwoFiftySixNodesWork)
+{
+    for (int nodes : {16, 256}) {
+        NetworkParams np;
+        np.numNodes = nodes;
+        NetHarness h("fattree", np);
+        for (NodeId s = 0; s < nodes; ++s)
+            h.send(s, (s + nodes / 2) % nodes);
+        h.runUntilQuiet(4000000);
+        int total = 0;
+        for (NodeId d = 0; d < nodes; ++d)
+            total += h.drainCount(d);
+        EXPECT_EQ(total, nodes) << nodes << " nodes";
+    }
+}
+
+TEST(FatTree, ScalarLatencyShorterThanMesh)
+{
+    // Table 3 sanity: the fat tree's round trip at max distance is
+    // far below the mesh's.
+    auto lat = [](const std::string &topo, NodeId dst) {
+        NetworkParams np;
+        np.numNodes = 64;
+        NetHarness h(topo, np);
+        h.send(0, dst);
+        h.runUntilQuiet();
+        Cycle t = h.kernel.now();
+        h.drainCount(dst);
+        return t;
+    };
+    EXPECT_LT(lat("fattree", 63), lat("mesh2d", 63));
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * System-level invariants: bit-exact determinism of whole
+ * simulations, end-to-end in-order delivery through the message
+ * layer on every multipath network, statistics reporting, and
+ * barrier stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "traffic/synthetic.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+std::uint64_t
+runSignature(const std::string &topo, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.topology = topo;
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::nifdy;
+    cfg.seed = seed;
+    cfg.msg.packetWords = 8;
+    Experiment exp(cfg);
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(),
+                               SyntheticParams::heavy(), seed));
+    exp.runFor(40000);
+    // Fold several counters into one signature.
+    std::uint64_t sig = exp.packetsDelivered() * 1000003u +
+                        exp.wordsDelivered() * 10007u +
+                        exp.packetsSent();
+    sig += exp.network().totalFlitsSwitched();
+    return sig;
+}
+
+class DeterminismProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DeterminismProperty, IdenticalSeedsGiveIdenticalRuns)
+{
+    std::uint64_t a = runSignature(GetParam(), 5);
+    std::uint64_t b = runSignature(GetParam(), 5);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(DeterminismProperty, DifferentSeedsDiverge)
+{
+    std::uint64_t a = runSignature(GetParam(), 5);
+    std::uint64_t b = runSignature(GetParam(), 6);
+    EXPECT_NE(a, b);
+}
+
+std::string
+topoName(const ::testing::TestParamInfo<const char *> &info)
+{
+    std::string t = info.param;
+    for (auto &c : t)
+        if (c == '-')
+            c = '_';
+    return t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DeterminismProperty,
+                         ::testing::Values("mesh2d", "torus2d",
+                                           "fattree", "cm5",
+                                           "butterfly",
+                                           "multibutterfly",
+                                           "mesh2d-adaptive"),
+                         topoName);
+
+/**
+ * Workload that streams multi-packet messages to one destination
+ * and verifies, at the receiver, that (msgId, msgSeq) arrive in
+ * strictly increasing order per source.
+ */
+class OrderChecker : public Workload
+{
+  public:
+    OrderChecker(Processor &p, MessageLayer &m, Barrier *b, NodeId dst,
+                 int messages)
+        : Workload(p, m, b, 1), dst_(dst), messages_(messages)
+    {}
+
+    void
+    tick(Cycle now) override
+    {
+        if (receiveOne(now))
+            return;
+        if (sent_ < messages_ && msg_.backlog() == 0) {
+            msg_.enqueueMessage(dst_, 40, NetClass::request);
+            ++sent_;
+        }
+        if (!msg_.allSent()) {
+            if (msg_.pump(now))
+                return;
+        }
+        pollNetwork(now);
+    }
+
+    bool done() const override { return false; }
+
+    void
+    onReceive(const Packet &pkt, Cycle now) override
+    {
+        (void)now;
+        auto key = std::make_pair(pkt.msgId, pkt.msgSeq);
+        auto &last = lastSeen_[pkt.src];
+        if (last.first != 0 && !(key > last))
+            ++violations;
+        last = key;
+    }
+
+    int violations = 0;
+
+  private:
+    NodeId dst_;
+    int messages_;
+    int sent_ = 0;
+    std::map<NodeId, std::pair<std::uint32_t, std::int32_t>>
+        lastSeen_;
+};
+
+class InOrderProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(InOrderProperty, MessagesArriveInOrderWithNifdy)
+{
+    ExperimentConfig cfg;
+    cfg.topology = GetParam();
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::nifdy;
+    cfg.msg.packetWords = 6;
+    Experiment exp(cfg);
+    ASSERT_TRUE(exp.inOrderDelivery());
+    // Everyone streams messages at node 0; node 0 checks ordering.
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<OrderChecker>(
+                               exp.proc(n), exp.msg(n),
+                               &exp.barrier(), 0, 6));
+    exp.runFor(250000);
+    auto *checker = dynamic_cast<OrderChecker *>(exp.workload(0));
+    ASSERT_NE(checker, nullptr);
+    EXPECT_GT(checker->packetsAccepted(), 100u);
+    EXPECT_EQ(checker->violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(MultipathTopologies, InOrderProperty,
+                         ::testing::Values("fattree", "cm5",
+                                           "fattree-saf",
+                                           "multibutterfly",
+                                           "mesh2d-adaptive",
+                                           "torus2d"),
+                         topoName);
+
+TEST(StatsReport, TableCoversKeyMetrics)
+{
+    ExperimentConfig cfg;
+    cfg.topology = "mesh2d";
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::lossy;
+    cfg.lossy.dropProb = 0.02;
+    Experiment exp(cfg);
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(),
+                               SyntheticParams::heavy(), 1));
+    exp.runFor(30000);
+    std::string s = exp.statsTable().str();
+    for (const char *needle :
+         {"packets sent / delivered", "packet latency",
+          "acks sent / piggybacked", "retransmissions",
+          "processor busy fraction", "in-order delivery"})
+        EXPECT_NE(s.find(needle), std::string::npos) << needle;
+}
+
+TEST(BarrierStress, ManyGenerationsRandomOrder)
+{
+    Barrier b(8, 7);
+    Rng rng(3, 0);
+    std::vector<NodeId> order{0, 1, 2, 3, 4, 5, 6, 7};
+    Cycle t = 0;
+    for (int gen = 0; gen < 50; ++gen) {
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBounded(i)]);
+        for (NodeId n : order)
+            b.arrive(n, t++);
+        t += 10;
+        for (NodeId n : order)
+            EXPECT_TRUE(b.released(n, t));
+    }
+    EXPECT_EQ(b.generation(), 50);
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Mesh and torus topology tests: coordinates, distances, delivery
+ * between all pairs, dimension-order in-order delivery, dateline
+ * VCs, and latency scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/mesh.hh"
+#include "netharness.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+NetworkParams
+meshParams(int nodes)
+{
+    NetworkParams np;
+    np.numNodes = nodes;
+    return np;
+}
+
+TEST(Mesh, CoordRoundTrip)
+{
+    NetworkParams np = meshParams(12);
+    np.dims = {4, 3};
+    MeshNetwork net(np);
+    for (NodeId n = 0; n < 12; ++n)
+        EXPECT_EQ(net.nodeOf(net.coordOf(n)), n);
+    EXPECT_EQ(net.coordOf(5), (std::vector<int>{1, 1}));
+    EXPECT_EQ(net.coordOf(11), (std::vector<int>{3, 2}));
+}
+
+TEST(Mesh, ManhattanDistance)
+{
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    MeshNetwork net(np);
+    EXPECT_EQ(net.distance(0, 63), 14);
+    EXPECT_EQ(net.distance(0, 7), 7);
+    EXPECT_EQ(net.distance(9, 9), 0);
+    EXPECT_EQ(net.maxDistance(), 14);
+    EXPECT_NEAR(net.averageDistance(), 5.33, 0.1);
+}
+
+TEST(Torus, WrapDistance)
+{
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    np.wrap = true;
+    np.vcsPerClass = 2;
+    MeshNetwork net(np);
+    EXPECT_EQ(net.distance(0, 7), 1);  // wraps around
+    EXPECT_EQ(net.distance(0, 63), 2); // both dims wrap
+    EXPECT_EQ(net.maxDistance(), 8);
+}
+
+TEST(Mesh, BadDimsRejected)
+{
+    NetworkParams np = meshParams(10);
+    np.dims = {3, 3};
+    EXPECT_THROW(MeshNetwork net(np), std::runtime_error);
+}
+
+TEST(Mesh, TorusNeedsTwoVCs)
+{
+    NetworkParams np = meshParams(16);
+    np.dims = {4, 4};
+    np.wrap = true;
+    np.vcsPerClass = 1;
+    EXPECT_THROW(MeshNetwork net(np), std::runtime_error);
+}
+
+TEST(Mesh, FactoryPresets)
+{
+    NetworkParams np = meshParams(16);
+    auto mesh = makeNetwork("mesh2d", np);
+    EXPECT_EQ(mesh->numNodes(), 16);
+    auto torus = makeNetwork("torus2d", np);
+    EXPECT_EQ(torus->params().vcsPerClass, 2);
+    NetworkParams np3 = meshParams(27);
+    auto m3 = makeNetwork("mesh3d", np3);
+    EXPECT_EQ(m3->params().dims.size(), 3u);
+    EXPECT_THROW(makeNetwork("mesh2d", meshParams(15)),
+                 std::runtime_error);
+}
+
+TEST(Mesh, AllPairsDelivery)
+{
+    NetworkParams np = meshParams(16);
+    np.dims = {4, 4};
+    NetHarness h("mesh2d", np);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    for (NodeId d = 0; d < 16; ++d) {
+        auto got = h.collect(d);
+        EXPECT_EQ(got.size(), 15u) << "node " << d;
+        for (Packet *p : got) {
+            EXPECT_EQ(p->dst, d);
+            h.pool.release(p);
+        }
+    }
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(Torus, AllPairsDelivery)
+{
+    NetworkParams np = meshParams(16);
+    NetHarness h("torus2d", np);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    int total = 0;
+    for (NodeId d = 0; d < 16; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 16 * 15);
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(Mesh3d, AllPairsDelivery)
+{
+    NetworkParams np = meshParams(27);
+    NetHarness h("mesh3d", np);
+    for (NodeId s = 0; s < 27; ++s)
+        for (NodeId d = 0; d < 27; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    int total = 0;
+    for (NodeId d = 0; d < 27; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 27 * 26);
+}
+
+TEST(Mesh, SamePairStaysInOrder)
+{
+    // Dimension-order routing with one VC per class: packets
+    // between one pair must arrive in injection order.
+    NetworkParams np = meshParams(16);
+    np.dims = {4, 4};
+    NetHarness h("mesh2d", np);
+    std::vector<Packet *> sent;
+    for (int i = 0; i < 20; ++i)
+        sent.push_back(h.send(0, 15));
+    h.runUntilQuiet();
+    auto got = h.collect(15);
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], sent[i]) << "position " << i;
+    for (Packet *p : got)
+        h.pool.release(p);
+}
+
+TEST(Mesh, LatencyGrowsLinearlyWithDistance)
+{
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    NetHarness h("mesh2d", np);
+    // One packet at a time along row 0; record delivery times.
+    std::vector<Cycle> lat;
+    for (NodeId d : {1, 2, 4, 7}) {
+        Cycle start = h.kernel.now();
+        h.send(0, d);
+        h.runUntilQuiet();
+        lat.push_back(h.kernel.now() - start);
+        h.drainCount(d);
+    }
+    // Monotone increasing and roughly affine: the per-hop increment
+    // between d=4 and d=7 matches d=1 to d=4 within slack.
+    EXPECT_LT(lat[0], lat[1]);
+    EXPECT_LT(lat[1], lat[2]);
+    EXPECT_LT(lat[2], lat[3]);
+    double slope1 = double(lat[2] - lat[0]) / 3.0;
+    double slope2 = double(lat[3] - lat[2]) / 3.0;
+    EXPECT_NEAR(slope1, slope2, 3.0);
+}
+
+TEST(Torus, HeavyRandomTrafficDrains)
+{
+    // Deadlock check for the dateline VC scheme: saturate a small
+    // torus with random traffic and require it to drain.
+    NetworkParams np = meshParams(16);
+    NetHarness h("torus2d", np);
+    Rng rng(7, 0);
+    for (int round = 0; round < 40; ++round)
+        for (NodeId s = 0; s < 16; ++s) {
+            NodeId d = static_cast<NodeId>(rng.nextBounded(16));
+            if (d != s)
+                h.send(s, d);
+        }
+    h.runUntilQuiet(3000000);
+    int total = 0;
+    for (NodeId d = 0; d < 16; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(h.pool.live(), 0u);
+    EXPECT_GT(total, 0);
+    EXPECT_EQ(h.net->totalBufferedFlits(), 0);
+}
+
+TEST(Mesh, VolumeMatchesStructure)
+{
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    MeshNetwork net(np);
+    // Per node: (4 network + 1 injection) inputs x 2 classes x
+    // depth 2 = 20 flit buffers.
+    EXPECT_DOUBLE_EQ(net.volumeFlitsPerNode(), 20.0);
+}
+
+TEST(AdaptiveMesh, FactoryPresets)
+{
+    NetworkParams np = meshParams(16);
+    auto net = makeNetwork("mesh2d-adaptive", np);
+    EXPECT_EQ(net->params().vcsPerClass, 2);
+    EXPECT_TRUE(net->params().adaptiveRouting);
+    EXPECT_NE(net->name().find("adaptive"), std::string::npos);
+    auto *mesh = dynamic_cast<MeshNetwork *>(net.get());
+    ASSERT_NE(mesh, nullptr);
+    EXPECT_TRUE(mesh->adaptive());
+    EXPECT_FALSE(mesh->wrap());
+}
+
+TEST(AdaptiveMesh, AllPairsDelivery)
+{
+    NetworkParams np = meshParams(16);
+    NetHarness h("mesh2d-adaptive", np);
+    for (NodeId s = 0; s < 16; ++s)
+        for (NodeId d = 0; d < 16; ++d)
+            if (s != d)
+                h.send(s, d);
+    h.runUntilQuiet();
+    int total = 0;
+    for (NodeId d = 0; d < 16; ++d)
+        total += h.drainCount(d);
+    EXPECT_EQ(total, 16 * 15);
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(AdaptiveMesh, HeavyRandomTrafficDrains)
+{
+    // Deadlock check for the Duato escape-VC scheme: saturate and
+    // require a clean drain.
+    NetworkParams np = meshParams(16);
+    NetHarness h("mesh2d-adaptive", np);
+    Rng rng(11, 0);
+    for (int round = 0; round < 60; ++round)
+        for (NodeId s = 0; s < 16; ++s) {
+            NodeId d = static_cast<NodeId>(rng.nextBounded(16));
+            if (d != s)
+                h.send(s, d);
+        }
+    h.runUntilQuiet(5000000);
+    int total = 0;
+    for (NodeId d = 0; d < 16; ++d)
+        total += h.drainCount(d);
+    EXPECT_GT(total, 800);
+    EXPECT_TRUE(h.net->quiescent());
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(AdaptiveMesh, UsesMultiplePaths)
+{
+    // Saturating one corner-to-corner pair must spread flits over
+    // routers off the dimension-order path.
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    NetHarness h("mesh2d-adaptive", np);
+    for (int i = 0; i < 60; ++i)
+        h.send(0, 63);
+    h.runUntilQuiet(4000000);
+    EXPECT_EQ(h.drainCount(63), 60);
+    // The DOR path visits routers 0..7 then column 7. Any switched
+    // flits at an interior router like (2, 1) = id 10 prove an
+    // adaptive detour.
+    int offPath = 0;
+    for (int r : {9, 10, 18, 27, 36})
+        offPath += h.net->router(r).flitsSwitched() > 0 ? 1 : 0;
+    EXPECT_GT(offPath, 0);
+}
+
+TEST(AdaptiveMesh, CanReorderSamePairPackets)
+{
+    // Path diversity means order is NOT guaranteed (this is what
+    // NIFDY's reorder machinery exists for). We only assert
+    // delivery; order may or may not hold for a given seed.
+    NetworkParams np = meshParams(64);
+    np.dims = {8, 8};
+    NetHarness h("mesh2d-adaptive", np);
+    for (int i = 0; i < 40; ++i)
+        h.send(0, 63);
+    h.runUntilQuiet(4000000);
+    EXPECT_EQ(h.drainCount(63), 40);
+}
+
+} // namespace
+} // namespace nifdy

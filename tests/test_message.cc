@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Message-layer tests: payload accounting for in-order vs
+ * out-of-order delivery (the paper's Section 2.2 payload benefit),
+ * segmentation, bulk-request marking, and receive costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+ExperimentConfig
+cfgWith(bool inOrderNic)
+{
+    ExperimentConfig cfg;
+    cfg.topology = "fattree"; // multipath: order comes from the NIC
+    cfg.numNodes = 16;
+    cfg.nicKind = inOrderNic ? NicKind::nifdy : NicKind::none;
+    return cfg;
+}
+
+TEST(Message, PayloadPerPacketRules)
+{
+    // 8-word packets, 2 header words, 1 bookkeeping word.
+    Experiment ooo(cfgWith(false));
+    EXPECT_FALSE(ooo.inOrderDelivery());
+    const MessageLayer &m = ooo.msg(0);
+    EXPECT_EQ(m.payloadPerPacket(true), 5);
+    EXPECT_EQ(m.payloadPerPacket(false), 5);
+
+    Experiment ord(cfgWith(true));
+    EXPECT_TRUE(ord.inOrderDelivery());
+    const MessageLayer &mi = ord.msg(0);
+    EXPECT_EQ(mi.payloadPerPacket(true), 5);
+    EXPECT_EQ(mi.payloadPerPacket(false), 6);
+}
+
+TEST(Message, InOrderNeedsFewerPackets)
+{
+    Experiment ooo(cfgWith(false));
+    Experiment ord(cfgWith(true));
+    // 120 words: OOO needs ceil(120/5) = 24 packets; in-order needs
+    // 1 + ceil(115/6) = 21.
+    EXPECT_EQ(ooo.msg(0).packetsForWords(120), 24);
+    EXPECT_EQ(ord.msg(0).packetsForWords(120), 21);
+    // Single packet either way.
+    EXPECT_EQ(ooo.msg(0).packetsForWords(5), 1);
+    EXPECT_EQ(ord.msg(0).packetsForWords(5), 1);
+}
+
+TEST(Message, MeshIsInOrderEvenWithoutNifdy)
+{
+    ExperimentConfig cfg;
+    cfg.topology = "mesh2d";
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::none;
+    Experiment exp(cfg);
+    EXPECT_TRUE(exp.inOrderDelivery());
+}
+
+TEST(Message, SegmentationDeliversAllWords)
+{
+    Experiment exp(cfgWith(true));
+    exp.msg(0).enqueueMessage(9, 57, NetClass::request);
+    // Pump manually until everything is handed over and delivered.
+    for (int i = 0; i < 200000; ++i) {
+        if (!exp.proc(0).busy(exp.kernel().now()))
+            exp.msg(0).pump(exp.kernel().now());
+        Cycle now = exp.kernel().now();
+        if (!exp.proc(9).busy(now)) {
+            if (Packet *p = exp.proc(9).poll(now))
+                exp.msg(9).accept(p, now);
+        }
+        exp.kernel().step();
+        if (exp.msg(9).wordsReceived() >= 57)
+            break;
+    }
+    EXPECT_EQ(exp.msg(9).wordsReceived(), 57u);
+    EXPECT_TRUE(exp.msg(0).allSent());
+    EXPECT_EQ(exp.msg(0).packetsSent(),
+              static_cast<std::uint64_t>(
+                  exp.msg(0).packetsForWords(57)));
+}
+
+TEST(Message, BulkRequestMarkedForLongTransfers)
+{
+    ExperimentConfig cfg = cfgWith(true);
+    cfg.msg.bulkThreshold = 3;
+    Experiment exp(cfg);
+    MessageLayer &m = exp.msg(0);
+    m.enqueueMessage(5, 100, NetClass::request); // many packets
+    // Pull the first packet out through the NIC by pumping once.
+    ASSERT_TRUE(m.pump(0));
+    // The NIFDY unit saw the request bit: it will have recorded a
+    // pending dialog request once the packet is injected.
+    exp.runFor(2000);
+    auto &nic = dynamic_cast<NifdyNic &>(exp.nic(0));
+    EXPECT_TRUE(nic.bulkActive() || nic.bulkGrants() == 0);
+}
+
+TEST(Message, ShortTransfersDontRequestBulk)
+{
+    ExperimentConfig cfg = cfgWith(true);
+    cfg.msg.bulkThreshold = 3;
+    Experiment exp(cfg);
+    exp.msg(0).enqueueMessage(4, 5, NetClass::request); // 1 packet
+    for (int i = 0; i < 5000; ++i) {
+        if (!exp.proc(0).busy(exp.kernel().now()))
+            exp.msg(0).pump(exp.kernel().now());
+        exp.kernel().step();
+    }
+    auto &nic = dynamic_cast<NifdyNic &>(exp.nic(4));
+    EXPECT_EQ(nic.bulkGrants(), 0u);
+}
+
+TEST(Message, EnqueuePacketsCountsFullPackets)
+{
+    Experiment exp(cfgWith(true));
+    MessageLayer &m = exp.msg(0);
+    m.enqueuePackets(3, 4, NetClass::request);
+    EXPECT_EQ(m.backlog(), 1);
+    int sent = 0;
+    for (int i = 0; i < 100000 && sent < 4; ++i) {
+        if (!exp.proc(0).busy(exp.kernel().now()) &&
+            m.pump(exp.kernel().now()))
+            ++sent;
+        exp.kernel().step();
+    }
+    EXPECT_EQ(sent, 4);
+    EXPECT_TRUE(m.allSent());
+}
+
+TEST(Message, ReorderCostChargedOnlyWhenOutOfOrder)
+{
+    Experiment ooo(cfgWith(false));
+    Packet *p = ooo.pool().alloc();
+    p->msgLen = 4; // part of a multi-packet transfer
+    p->payloadWords = 5;
+    Cycle before = ooo.proc(0).busyUntil();
+    ooo.msg(0).accept(p, 0);
+    EXPECT_GT(ooo.proc(0).busyUntil(), before);
+
+    Experiment ord(cfgWith(true));
+    Packet *q = ord.pool().alloc();
+    q->msgLen = 4;
+    q->payloadWords = 5;
+    ord.msg(0).accept(q, 0);
+    EXPECT_EQ(ord.proc(0).busyUntil(), 0u);
+}
+
+TEST(Message, SinglePacketMessagesSkipReorderCost)
+{
+    Experiment ooo(cfgWith(false));
+    Packet *p = ooo.pool().alloc();
+    p->msgLen = 1;
+    p->payloadWords = 5;
+    ooo.msg(0).accept(p, 0);
+    EXPECT_EQ(ooo.proc(0).busyUntil(), 0u);
+}
+
+TEST(Message, TooSmallPacketRejected)
+{
+    ExperimentConfig cfg = cfgWith(true);
+    cfg.msg.packetWords = 3;
+    cfg.msg.headerWords = 2;
+    cfg.msg.bookkeepingWords = 1;
+    EXPECT_THROW(Experiment exp(cfg), std::runtime_error);
+}
+
+TEST(Message, LastPacketCarriesExitMark)
+{
+    // Observable indirectly: a bulk transfer completes and closes
+    // its dialog, which requires the exit bit on the last packet.
+    ExperimentConfig cfg = cfgWith(true);
+    Experiment exp(cfg);
+    exp.msg(0).enqueueMessage(7, 60, NetClass::request);
+    for (int i = 0; i < 300000; ++i) {
+        Cycle now = exp.kernel().now();
+        if (!exp.proc(0).busy(now))
+            exp.msg(0).pump(now);
+        if (!exp.proc(7).busy(now)) {
+            if (Packet *p = exp.proc(7).poll(now))
+                exp.msg(7).accept(p, now);
+        }
+        exp.kernel().step();
+        auto &nic = dynamic_cast<NifdyNic &>(exp.nic(0));
+        if (exp.msg(0).allSent() && !nic.bulkActive() &&
+            exp.msg(7).wordsReceived() >= 60)
+            break;
+    }
+    auto &nic = dynamic_cast<NifdyNic &>(exp.nic(0));
+    EXPECT_FALSE(nic.bulkActive());
+    EXPECT_EQ(exp.msg(7).wordsReceived(), 60u);
+}
+
+} // namespace
+} // namespace nifdy

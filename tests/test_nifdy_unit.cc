@@ -1,0 +1,246 @@
+/**
+ * @file
+ * NIFDY unit tests, scalar protocol: OPT admission, per-destination
+ * ordering, acks, pool eligibility, receiver pacing, and the
+ * Section 6.1 no-ack bypass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nicharness.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+NifdyConfig
+smallCfg()
+{
+    NifdyConfig cfg;
+    cfg.opt = 4;
+    cfg.pool = 8;
+    cfg.dialogs = 1;
+    cfg.window = 4;
+    return cfg;
+}
+
+TEST(NifdyScalar, DeliversAndAcks)
+{
+    NifdyHarness h(smallCfg());
+    h.send(0, 3);
+    ASSERT_TRUE(h.runUntilIdle());
+    ASSERT_EQ(h.received[3].size(), 1u);
+    EXPECT_EQ(h.received[3][0]->src, 0);
+    EXPECT_EQ(h.nic(3).acksSent(), 1u);
+    EXPECT_EQ(h.nic(0).optOccupancy(), 0);
+}
+
+TEST(NifdyScalar, PacketConservation)
+{
+    NifdyHarness h(smallCfg());
+    for (int i = 0; i < 20; ++i)
+        h.send(i % 4, (i + 1) % 4);
+    ASSERT_TRUE(h.runUntilIdle());
+    h.releaseReceived();
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(NifdyScalar, OneOutstandingPerDestination)
+{
+    NifdyHarness h(smallCfg());
+    // Three packets to the same destination: the second can only be
+    // injected after the first ack returns, so early on at most one
+    // has been injected.
+    for (int i = 0; i < 3; ++i)
+        h.send(0, 3);
+    h.run(30); // enough to inject, far less than a round trip
+    EXPECT_EQ(h.nic(0).packetsSent(), 1u);
+    EXPECT_EQ(h.nic(0).optOccupancy(), 1);
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[3].size(), 3u);
+}
+
+TEST(NifdyScalar, InterleavesAcrossDestinations)
+{
+    NifdyHarness h(smallCfg());
+    // One packet each to three destinations: all can be outstanding
+    // at once (OPT has room), so all three inject promptly.
+    h.send(0, 1);
+    h.send(0, 2);
+    h.send(0, 3);
+    h.run(150);
+    EXPECT_EQ(h.nic(0).packetsSent(), 3u);
+    ASSERT_TRUE(h.runUntilIdle());
+}
+
+TEST(NifdyScalar, OptLimitBlocksNewDestinations)
+{
+    NifdyConfig cfg = smallCfg();
+    cfg.opt = 1;
+    NifdyHarness h(cfg);
+    h.send(0, 1);
+    h.send(0, 2);
+    h.run(40);
+    // O = 1: the second destination waits for the first ack.
+    EXPECT_EQ(h.nic(0).packetsSent(), 1u);
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[1].size(), 1u);
+    EXPECT_EQ(h.received[2].size(), 1u);
+}
+
+TEST(NifdyScalar, PoolCapacityGatesCanSend)
+{
+    NifdyConfig cfg = smallCfg();
+    cfg.pool = 2;
+    NifdyHarness h(cfg);
+    Packet *p1 = h.makeData(0, 1);
+    EXPECT_TRUE(h.nic(0).canSend(*p1));
+    h.nic(0).send(p1, 0);
+    Packet *p2 = h.makeData(0, 1);
+    h.nic(0).send(p2, 0);
+    Packet *p3 = h.makeData(0, 1);
+    EXPECT_FALSE(h.nic(0).canSend(*p3));
+    EXPECT_THROW(h.nic(0).send(p3, 0), std::logic_error);
+    h.pool.release(p3);
+    ASSERT_TRUE(h.runUntilIdle());
+}
+
+TEST(NifdyScalar, SameDestinationKeepsFifoOrder)
+{
+    NifdyHarness h(smallCfg());
+    std::vector<Packet *> sent;
+    for (int i = 0; i < 6; ++i)
+        sent.push_back(h.send(1, 2));
+    ASSERT_TRUE(h.runUntilIdle());
+    ASSERT_EQ(h.received[2].size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(h.received[2][i], sent[i]);
+}
+
+TEST(NifdyScalar, DeafReceiverGetsExactlyOnePacket)
+{
+    NifdyHarness h(smallCfg());
+    h.pollEnabled[3] = 0;
+    for (int i = 0; i < 5; ++i)
+        h.send(0, 3);
+    h.run(20000);
+    // Ack-on-accept: without polling the first packet sits unacked
+    // in the FIFO, so nothing further is admitted.
+    EXPECT_EQ(h.nic(3).packetsDelivered(), 1u);
+    EXPECT_EQ(h.nic(0).packetsSent(), 1u);
+    // Waking up the receiver drains everything.
+    h.pollEnabled[3] = 1;
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[3].size(), 5u);
+}
+
+TEST(NifdyScalar, AckOnArrivalAdmitsMoreWhileDeaf)
+{
+    NifdyConfig cfg = smallCfg();
+    cfg.ackOnAccept = false; // footnote-2 alternative
+    NifdyHarness h(cfg);
+    h.pollEnabled[3] = 0;
+    for (int i = 0; i < 6; ++i)
+        h.send(0, 3);
+    h.run(30000);
+    // Acks flow on arrival: the FIFO (2) fills and backpressure
+    // stops the rest, but more than one gets through.
+    EXPECT_GE(h.nic(3).packetsDelivered(), 2u);
+    EXPECT_LT(h.nic(3).packetsDelivered(), 6u);
+    h.pollEnabled[3] = 1;
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[3].size(), 6u);
+}
+
+TEST(NifdyScalar, NoAckBypass)
+{
+    NifdyHarness h(smallCfg());
+    for (int i = 0; i < 5; ++i) {
+        Packet *p = h.makeData(0, 3);
+        p->noAck = true;
+        h.nic(0).send(p, h.kernel.now());
+    }
+    h.run(100);
+    // No OPT involvement: all five inject back to back.
+    EXPECT_EQ(h.nic(0).optOccupancy(), 0);
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[3].size(), 5u);
+    EXPECT_EQ(h.nic(3).acksSent(), 0u);
+}
+
+TEST(NifdyScalar, AcksTravelOppositeClass)
+{
+    // A request-class packet must produce a reply-class ack. We
+    // can't see the wire directly, but on the CM-5-style network
+    // the classes are time-sliced; the protocol completing at all
+    // on both classes exercises the opposite-class path. Check via
+    // a reply-class packet too.
+    NifdyHarness h(smallCfg(), 16, "cm5");
+    Packet *p = h.makeData(0, 9, 32, NetClass::reply);
+    h.nic(0).send(p, 0);
+    h.send(0, 10, 32);
+    ASSERT_TRUE(h.runUntilIdle());
+    EXPECT_EQ(h.received[9].size(), 1u);
+    EXPECT_EQ(h.received[10].size(), 1u);
+}
+
+TEST(NifdyScalar, AckCountMatchesDataCount)
+{
+    NifdyHarness h(smallCfg());
+    for (int i = 0; i < 12; ++i)
+        h.send(0, 1 + i % 3);
+    ASSERT_TRUE(h.runUntilIdle());
+    std::uint64_t acks = 0;
+    for (NodeId n = 1; n < 4; ++n)
+        acks += h.nic(n).acksSent();
+    EXPECT_EQ(acks, 12u);
+}
+
+TEST(NifdyScalar, IdleIsCleanAfterTraffic)
+{
+    NifdyHarness h(smallCfg());
+    h.send(2, 1);
+    ASSERT_TRUE(h.runUntilIdle());
+    for (NodeId n = 0; n < 4; ++n) {
+        EXPECT_TRUE(h.nic(n).idle());
+        EXPECT_EQ(h.nic(n).optOccupancy(), 0);
+        EXPECT_EQ(h.nic(n).poolOccupancy(), 0);
+        EXPECT_EQ(h.nic(n).acksQueued(), 0);
+    }
+}
+
+TEST(NifdyScalar, BadConfigRejected)
+{
+    PacketPool pool;
+    NetworkParams np;
+    np.numNodes = 4;
+    auto net = makeNetwork("mesh2d", np);
+    NicParams nicp;
+    nicp.vcsPerClass = net->params().vcsPerClass;
+    NifdyConfig bad;
+    bad.opt = 0;
+    EXPECT_THROW(NifdyNic(0, net->nodePorts(0), nicp, bad, pool),
+                 std::runtime_error);
+    bad = NifdyConfig();
+    bad.pool = 0;
+    EXPECT_THROW(NifdyNic(0, net->nodePorts(0), nicp, bad, pool),
+                 std::runtime_error);
+}
+
+TEST(NifdyConfigT, Derived)
+{
+    NifdyConfig cfg;
+    cfg.window = 8;
+    cfg.dialogs = 1;
+    EXPECT_TRUE(cfg.bulkEnabled());
+    EXPECT_EQ(cfg.effAckEvery(), 4);
+    EXPECT_EQ(cfg.seqSpace(), 16);
+    cfg.ackEvery = 1;
+    EXPECT_EQ(cfg.effAckEvery(), 1);
+    cfg.dialogs = 0;
+    EXPECT_FALSE(cfg.bulkEnabled());
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Section 6.1 tests: piggybacked acks (an application reply carries
+ * the NIFDY ack for the request it answers) and their interaction
+ * with bulk grants and packet loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nicharness.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+NifdyConfig
+piggyCfg()
+{
+    NifdyConfig cfg;
+    cfg.opt = 4;
+    cfg.pool = 8;
+    cfg.dialogs = 1;
+    cfg.window = 4;
+    cfg.piggybackAcks = true;
+    cfg.piggybackWait = 400;
+    return cfg;
+}
+
+/**
+ * Request/reply driver on top of the harness: whenever node @p who
+ * receives a packet marked expectsReply, queue a reply back.
+ */
+class Replier : public Steppable
+{
+  public:
+    Replier(NifdyHarness &h, NodeId who) : h_(h), who_(who)
+    {
+        h_.pollEnabled[who_] = 0; // we poll ourselves
+    }
+    void
+    step(Cycle now) override
+    {
+        if (Packet *p = h_.nic(who_).pollReceive(now)) {
+            if (p->expectsReply) {
+                Packet *r = h_.makeData(who_, p->src);
+                r->netClass = oppositeClass(p->netClass);
+                h_.pendingSends[who_].push_back(r);
+                ++repliesSent;
+            }
+            h_.received[who_].push_back(p);
+        }
+    }
+    NifdyHarness &h_;
+    NodeId who_;
+    int repliesSent = 0;
+};
+
+TEST(Piggyback, ReplyCarriesAck)
+{
+    NifdyHarness h(piggyCfg());
+    Replier replier(h, 3);
+    h.kernel.add(&replier);
+    // A request that expects a reply: the reply should carry the
+    // ack, so node 3 sends zero standalone acks.
+    Packet *req = h.makeData(0, 3);
+    req->expectsReply = true;
+    h.pendingSends[0].push_back(req);
+    ASSERT_TRUE(h.runUntilIdle(100000));
+    EXPECT_EQ(replier.repliesSent, 1);
+    EXPECT_EQ(h.received[0].size(), 1u); // the reply arrived
+    EXPECT_EQ(h.nic(3).acksPiggybacked(), 1u);
+    EXPECT_EQ(h.nic(3).acksSent(), 0u); // no standalone ack needed
+    EXPECT_EQ(h.nic(0).acksSent(), 1u); // node 0 acks the reply
+    EXPECT_EQ(h.nic(0).optOccupancy(), 0);
+}
+
+TEST(Piggyback, HeldAckGoesStandaloneOnTimeout)
+{
+    // The receiver never replies: the held ack must still be
+    // released after piggybackWait so the sender is not blocked.
+    NifdyHarness h(piggyCfg());
+    Packet *req = h.makeData(0, 3);
+    req->expectsReply = true;
+    h.pendingSends[0].push_back(req);
+    h.send(0, 3); // a second packet waits on the first's ack
+    ASSERT_TRUE(h.runUntilIdle(100000));
+    EXPECT_EQ(h.received[3].size(), 2u);
+    EXPECT_EQ(h.nic(3).acksPiggybacked(), 0u);
+    EXPECT_EQ(h.nic(3).acksSent(), 2u);
+}
+
+TEST(Piggyback, DisabledMeansNoHolding)
+{
+    NifdyConfig cfg = piggyCfg();
+    cfg.piggybackAcks = false;
+    NifdyHarness h(cfg);
+    Replier replier(h, 3);
+    h.kernel.add(&replier);
+    Packet *req = h.makeData(0, 3);
+    req->expectsReply = true;
+    h.pendingSends[0].push_back(req);
+    ASSERT_TRUE(h.runUntilIdle(100000));
+    EXPECT_EQ(h.nic(3).acksPiggybacked(), 0u);
+    EXPECT_EQ(h.nic(3).acksSent(), 1u); // standalone request ack
+    EXPECT_EQ(h.nic(0).acksSent(), 1u); // reply ack
+}
+
+TEST(Piggyback, GrantRidesOnReply)
+{
+    // The request also asks for a bulk dialog: the grant must ride
+    // on the piggybacked ack and activate the sender's dialog.
+    NifdyHarness h(piggyCfg());
+    Replier replier(h, 3);
+    h.kernel.add(&replier);
+    std::vector<Packet *> sent;
+    for (int i = 0; i < 6; ++i) {
+        Packet *p = h.makeData(0, 3);
+        p->bulkRequest = true;
+        p->bulkExit = i == 5;
+        p->expectsReply = i == 0;
+        sent.push_back(p);
+        h.pendingSends[0].push_back(p);
+    }
+    ASSERT_TRUE(h.runUntilIdle(200000));
+    EXPECT_EQ(h.received[3].size(), 6u);
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        EXPECT_EQ(h.received[3][i], sent[i]);
+    EXPECT_EQ(h.nic(3).bulkGrants(), 1u);
+    EXPECT_GE(h.nic(3).acksPiggybacked(), 1u);
+}
+
+TEST(Piggyback, ManyRequestReplyRounds)
+{
+    NifdyHarness h(piggyCfg());
+    Replier replier(h, 2);
+    h.kernel.add(&replier);
+    for (int i = 0; i < 10; ++i) {
+        Packet *req = h.makeData(1, 2);
+        req->expectsReply = true;
+        h.pendingSends[1].push_back(req);
+    }
+    ASSERT_TRUE(h.runUntilIdle(400000));
+    EXPECT_EQ(replier.repliesSent, 10);
+    EXPECT_EQ(h.received[1].size(), 10u);
+    // Most request acks rode on replies (the first may race).
+    EXPECT_GE(h.nic(2).acksPiggybacked(), 8u);
+    h.releaseReceived();
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+TEST(Piggyback, SurvivesPacketLoss)
+{
+    NifdyConfig cfg = piggyCfg();
+    NifdyHarness h(cfg, 4, "mesh2d", 0.2, 1500);
+    Replier replier(h, 3);
+    h.kernel.add(&replier);
+    for (int i = 0; i < 8; ++i) {
+        Packet *req = h.makeData(0, 3);
+        req->expectsReply = true;
+        req->msgId = 100 + i;
+        h.pendingSends[0].push_back(req);
+    }
+    ASSERT_TRUE(h.runUntilIdle(8000000));
+    EXPECT_EQ(replier.repliesSent, 8);
+    EXPECT_EQ(h.received[0].size(), 8u);
+    h.releaseReceived();
+    EXPECT_EQ(h.pool.live(), 0u);
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Processor and barrier tests: software overhead accounting,
+ * polling, additive busy time, and barrier semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+/** Workload that performs a scripted list of actions. */
+class Scripted : public Workload
+{
+  public:
+    using Fn = std::function<bool(Workload &, Processor &, Cycle)>;
+    Scripted(Processor &p, MessageLayer &m, Barrier *b)
+        : Workload(p, m, b, 1)
+    {}
+    void
+    tick(Cycle now) override
+    {
+        if (step < fns.size() && fns[step](*this, proc_, now))
+            ++step;
+    }
+    bool done() const override { return step >= fns.size(); }
+    std::vector<Fn> fns;
+    std::size_t step = 0;
+};
+
+ExperimentConfig
+tinyCfg()
+{
+    ExperimentConfig cfg;
+    cfg.topology = "mesh2d";
+    cfg.numNodes = 4;
+    cfg.nicKind = NicKind::nifdy;
+    return cfg;
+}
+
+TEST(Processor, ComputeBlocksForDuration)
+{
+    Experiment exp(tinyCfg());
+    Processor &p = exp.proc(0);
+    p.compute(10, 0);
+    EXPECT_TRUE(p.busy(5));
+    EXPECT_TRUE(p.busy(9));
+    EXPECT_FALSE(p.busy(10));
+    EXPECT_EQ(p.cyclesBusy(), 10u);
+}
+
+TEST(Processor, ComputeIsAdditive)
+{
+    Experiment exp(tinyCfg());
+    Processor &p = exp.proc(0);
+    p.compute(10, 0);
+    p.compute(5, 0); // stacked in the same tick
+    EXPECT_EQ(p.busyUntil(), 15u);
+}
+
+TEST(Processor, SendChargesTSend)
+{
+    Experiment exp(tinyCfg());
+    Processor &p = exp.proc(0);
+    Packet *pkt = exp.pool().alloc();
+    pkt->src = 0;
+    pkt->dst = 1;
+    pkt->sizeBytes = 32;
+    EXPECT_TRUE(p.sendPacket(pkt, 0));
+    EXPECT_EQ(p.busyUntil(),
+              static_cast<Cycle>(exp.config().proc.tSend));
+    EXPECT_EQ(p.sends(), 1u);
+    exp.runFor(5000); // let it deliver; consumed by nobody yet
+}
+
+TEST(Processor, EmptyPollChargesTPoll)
+{
+    Experiment exp(tinyCfg());
+    Processor &p = exp.proc(0);
+    EXPECT_EQ(p.poll(0), nullptr);
+    EXPECT_EQ(p.busyUntil(),
+              static_cast<Cycle>(exp.config().proc.tPoll));
+    EXPECT_EQ(p.emptyPolls(), 1u);
+}
+
+TEST(Processor, ReceiveChargesTReceive)
+{
+    Experiment exp(tinyCfg());
+    Packet *pkt = exp.pool().alloc();
+    pkt->src = 1;
+    pkt->dst = 0;
+    pkt->sizeBytes = 32;
+    ASSERT_TRUE(exp.proc(1).sendPacket(pkt, 0));
+    exp.runFor(5000);
+    Processor &p0 = exp.proc(0);
+    ASSERT_NE(p0.peek(), nullptr);
+    Cycle t = exp.kernel().now();
+    Packet *got = p0.poll(t);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(p0.busyUntil(),
+              t + static_cast<Cycle>(exp.config().proc.tReceive));
+    EXPECT_EQ(p0.receives(), 1u);
+    exp.pool().release(got);
+}
+
+TEST(Processor, SendFailsOnFullNicWithoutCharge)
+{
+    ExperimentConfig cfg = tinyCfg();
+    cfg.nifdyExplicit = true;
+    cfg.nifdy.pool = 1;
+    cfg.nifdy.opt = 1;
+    Experiment exp(cfg);
+    Processor &p = exp.proc(0);
+    Packet *a = exp.pool().alloc();
+    a->src = 0;
+    a->dst = 1;
+    a->sizeBytes = 32;
+    ASSERT_TRUE(p.sendPacket(a, 0));
+    Packet *b = exp.pool().alloc();
+    b->src = 0;
+    b->dst = 1;
+    b->sizeBytes = 32;
+    Cycle before = p.busyUntil();
+    EXPECT_FALSE(p.sendPacket(b, 0));
+    EXPECT_EQ(p.busyUntil(), before);
+    exp.pool().release(b);
+    exp.runFor(10000);
+}
+
+TEST(Barrier, ReleasesAfterAllArrive)
+{
+    Barrier b(3, 10);
+    b.arrive(0, 100);
+    b.arrive(1, 120);
+    EXPECT_FALSE(b.released(0, 150));
+    b.arrive(2, 200);
+    EXPECT_FALSE(b.released(0, 205)); // latency not yet elapsed
+    EXPECT_TRUE(b.released(0, 210));
+    EXPECT_TRUE(b.released(1, 210));
+    EXPECT_TRUE(b.released(2, 211));
+    EXPECT_EQ(b.generation(), 1);
+}
+
+TEST(Barrier, MultipleGenerations)
+{
+    Barrier b(2, 5);
+    for (int gen = 0; gen < 3; ++gen) {
+        b.arrive(0, gen * 100);
+        b.arrive(1, gen * 100 + 1);
+        EXPECT_TRUE(b.released(0, gen * 100 + 10));
+        EXPECT_TRUE(b.released(1, gen * 100 + 10));
+    }
+    EXPECT_EQ(b.generation(), 3);
+}
+
+TEST(Barrier, FastNodeCanLapSlowObserver)
+{
+    Barrier b(2, 0);
+    b.arrive(0, 10);
+    b.arrive(1, 10);
+    EXPECT_TRUE(b.released(0, 11));
+    // Node 0 races ahead and arrives at the next generation before
+    // node 1 even checked the previous one.
+    b.arrive(0, 12);
+    EXPECT_TRUE(b.released(1, 13)); // released from the old one
+    EXPECT_FALSE(b.released(0, 13));
+    b.arrive(1, 20);
+    EXPECT_TRUE(b.released(0, 21));
+}
+
+TEST(Barrier, DoubleArrivePanics)
+{
+    Barrier b(2, 5);
+    b.arrive(0, 0);
+    EXPECT_THROW(b.arrive(0, 1), std::logic_error);
+}
+
+TEST(Barrier, ArrivedQuery)
+{
+    Barrier b(2, 5);
+    EXPECT_FALSE(b.arrived(0));
+    b.arrive(0, 0);
+    EXPECT_TRUE(b.arrived(0));
+    EXPECT_FALSE(b.arrived(1));
+}
+
+TEST(Barrier, BadNodePanics)
+{
+    Barrier b(2, 5);
+    EXPECT_THROW(b.arrive(5, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace nifdy

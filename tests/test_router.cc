@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the base Router: forwarding, credits, wormhole
+ * packet integrity, backpressure, store-and-forward, and switch
+ * arbitration fairness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/router.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+/** Router that sends everything to output port (dst mod numOuts). */
+class TestRouter : public Router
+{
+  public:
+    using Router::Router;
+
+  protected:
+    bool
+    route(int, Packet &pkt, std::vector<int> &cands) override
+    {
+        cands.push_back(pkt.dst % std::max(1, numOutPorts()));
+        return false;
+    }
+};
+
+/**
+ * Credit-respecting single-router test bench: packets are queued
+ * per input port and fed as the router grants credits; outputs are
+ * drained like a well-behaved consumer (configurable per port).
+ */
+class RouterTest : public ::testing::Test
+{
+  protected:
+    void
+    build(int inPorts, int outPorts, RouterParams rp = RouterParams(),
+          int cyclesPerFlit = 1)
+    {
+        params = rp;
+        router = std::make_unique<TestRouter>(0, rp);
+        ChannelParams cp;
+        cp.cyclesPerFlit = cyclesPerFlit;
+        cp.latency = 1;
+        for (int i = 0; i < inPorts; ++i) {
+            ins.push_back(std::make_unique<Channel>(cp));
+            router->addInPort(ins.back().get());
+            credits.push_back(std::vector<int>(
+                numNetClasses * rp.vcsPerClass, rp.bufDepth));
+            sendQ.emplace_back();
+        }
+        for (int i = 0; i < outPorts; ++i) {
+            outs.push_back(std::make_unique<Channel>(cp));
+            router->addOutPort(outs.back().get(), rp.bufDepth);
+            got.emplace_back();
+            drainEnabled.push_back(1);
+        }
+    }
+
+    /** Queue a whole packet for injection at input @p port. */
+    void
+    queuePacket(Packet *p, int port, int flits, int vc = 0)
+    {
+        for (int i = 0; i < flits; ++i) {
+            Flit f;
+            f.pkt = p;
+            f.head = i == 0;
+            f.tail = i == flits - 1;
+            f.vc = static_cast<std::int8_t>(vc);
+            sendQ[port].push_back(f);
+        }
+    }
+
+    /** Run @p cycles, feeding inputs and draining outputs. */
+    void
+    pump(Cycle cycles)
+    {
+        for (Cycle end = now + cycles; now < end; ++now) {
+            for (std::size_t p = 0; p < ins.size(); ++p) {
+                while (ins[p]->hasCredit(now))
+                    ++credits[p][ins[p]->popCredit(now)];
+                if (!sendQ[p].empty()) {
+                    Flit &f = sendQ[p].front();
+                    if (credits[p][f.vc] > 0 &&
+                        ins[p]->canPush(f.pkt->netClass, now)) {
+                        --credits[p][f.vc];
+                        ins[p]->push(f, now);
+                        sendQ[p].pop_front();
+                    }
+                }
+            }
+            router->step(now);
+            for (std::size_t o = 0; o < outs.size(); ++o) {
+                if (!drainEnabled[o])
+                    continue;
+                while (outs[o]->hasFlit(now)) {
+                    Flit f = outs[o]->pop(now);
+                    outs[o]->pushCredit(f.vc, now);
+                    got[o].push_back(f);
+                }
+            }
+        }
+    }
+
+    RouterParams params;
+    PacketPool pool;
+    std::unique_ptr<TestRouter> router;
+    std::vector<std::unique_ptr<Channel>> ins;
+    std::vector<std::unique_ptr<Channel>> outs;
+    std::vector<std::vector<int>> credits;
+    std::vector<std::deque<Flit>> sendQ;
+    std::vector<std::vector<Flit>> got;
+    std::vector<char> drainEnabled;
+    Cycle now = 0;
+};
+
+TEST_F(RouterTest, ForwardsAWholePacket)
+{
+    build(1, 1);
+    Packet *p = pool.alloc();
+    p->dst = 0;
+    p->sizeBytes = 16;
+    queuePacket(p, 0, 4);
+    pump(60);
+    ASSERT_EQ(got[0].size(), 4u);
+    EXPECT_TRUE(got[0].front().head);
+    EXPECT_TRUE(got[0].back().tail);
+    for (const Flit &f : got[0])
+        EXPECT_EQ(f.pkt, p);
+    EXPECT_EQ(router->flitsSwitched(), 4u);
+    EXPECT_EQ(router->bufferedFlits(), 0);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, RoutesByDestination)
+{
+    build(1, 2);
+    Packet *p = pool.alloc();
+    p->dst = 1;
+    p->sizeBytes = 4;
+    queuePacket(p, 0, 1);
+    pump(30);
+    EXPECT_EQ(got[0].size(), 0u);
+    ASSERT_EQ(got[1].size(), 1u);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, WormholeKeepsPacketsContiguousPerVC)
+{
+    build(2, 1);
+    Packet *a = pool.alloc();
+    Packet *b = pool.alloc();
+    a->dst = b->dst = 0;
+    a->sizeBytes = b->sizeBytes = 12;
+    queuePacket(a, 0, 3);
+    queuePacket(b, 1, 3);
+    pump(100);
+    ASSERT_EQ(got[0].size(), 6u);
+    // Output VC is held until the tail: whichever packet wins the
+    // output first must finish before the other starts.
+    Packet *first = got[0][0].pkt;
+    EXPECT_EQ(got[0][1].pkt, first);
+    EXPECT_EQ(got[0][2].pkt, first);
+    EXPECT_TRUE(got[0][2].tail);
+    Packet *second = got[0][3].pkt;
+    EXPECT_NE(second, first);
+    EXPECT_EQ(got[0][5].pkt, second);
+    pool.release(a);
+    pool.release(b);
+}
+
+TEST_F(RouterTest, BackpressureWithoutCreditsStops)
+{
+    RouterParams rp;
+    rp.bufDepth = 2;
+    build(1, 1, rp);
+    drainEnabled[0] = 0; // consumer returns no credits
+    Packet *p = pool.alloc();
+    p->dst = 0;
+    p->sizeBytes = 24;
+    queuePacket(p, 0, 6);
+    pump(100);
+    // Only the initial credit allotment may leave the router.
+    int forwarded = 0;
+    while (outs[0]->hasFlit(now))
+        outs[0]->pop(now), ++forwarded;
+    EXPECT_EQ(forwarded, 2);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, CreditsRestartFlow)
+{
+    RouterParams rp;
+    rp.bufDepth = 2;
+    build(1, 1, rp);
+    Packet *p = pool.alloc();
+    p->dst = 0;
+    p->sizeBytes = 24;
+    queuePacket(p, 0, 6);
+    pump(120);
+    EXPECT_EQ(got[0].size(), 6u);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, BufferOverflowPanics)
+{
+    RouterParams rp;
+    rp.bufDepth = 1;
+    build(1, 1, rp);
+    Packet *p = pool.alloc();
+    p->dst = 0;
+    p->sizeBytes = 12;
+    // Violate credit discipline deliberately: push three flits
+    // without waiting for credits.
+    for (int i = 0; i < 3; ++i) {
+        Flit f;
+        f.pkt = p;
+        f.head = i == 0;
+        f.tail = i == 2;
+        ins[0]->push(f, i);
+    }
+    drainEnabled[0] = 0;
+    EXPECT_THROW(
+        {
+            for (Cycle c = 0; c < 10; ++c)
+                router->step(c);
+        },
+        std::logic_error);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, StoreAndForwardWaitsForTail)
+{
+    RouterParams rp;
+    rp.storeAndForward = true;
+    rp.bufDepth = 8;
+    build(1, 1, rp, 4);
+    Packet *p = pool.alloc();
+    p->dst = 0;
+    p->sizeBytes = 16; // 4 flits, 4 cycles each on the input link
+    queuePacket(p, 0, 4);
+    // The head must not appear before the tail has been buffered
+    // (tail lands around cycle 17); cut-through would emit the head
+    // around cycle 10.
+    pump(14);
+    EXPECT_EQ(got[0].size(), 0u);
+    pump(80);
+    EXPECT_EQ(got[0].size(), 4u);
+    pool.release(p);
+}
+
+TEST_F(RouterTest, ArbitrationSharesOutput)
+{
+    // Two inputs, one output, single-flit packets: both inputs get
+    // service (round robin), neither starves.
+    build(2, 1);
+    std::vector<Packet *> pkts;
+    for (int i = 0; i < 8; ++i) {
+        Packet *a = pool.alloc();
+        a->dst = 0;
+        a->sizeBytes = 4;
+        pkts.push_back(a);
+        queuePacket(a, i % 2, 1);
+    }
+    pump(150);
+    ASSERT_EQ(got[0].size(), 8u);
+    // Fairness: the first four deliveries include both inputs.
+    bool sawEven = false;
+    bool sawOdd = false;
+    for (int i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < pkts.size(); ++j) {
+            if (got[0][i].pkt == pkts[j])
+                (j % 2 ? sawOdd : sawEven) = true;
+        }
+    }
+    EXPECT_TRUE(sawEven);
+    EXPECT_TRUE(sawOdd);
+    for (Packet *p : pkts)
+        pool.release(p);
+}
+
+TEST_F(RouterTest, ClassesUseSeparateVCs)
+{
+    RouterParams rp;
+    rp.vcsPerClass = 1;
+    build(1, 1, rp);
+    Packet *req = pool.alloc();
+    req->dst = 0;
+    req->netClass = NetClass::request;
+    req->sizeBytes = 4;
+    Packet *rep = pool.alloc();
+    rep->dst = 0;
+    rep->netClass = NetClass::reply;
+    rep->sizeBytes = 4;
+    queuePacket(req, 0, 1, 0); // request class VC 0
+    queuePacket(rep, 0, 1, 1); // reply class VC 1
+    pump(40);
+    ASSERT_EQ(got[0].size(), 2u);
+    EXPECT_NE(got[0][0].vc, got[0][1].vc);
+    pool.release(req);
+    pool.release(rep);
+}
+
+TEST_F(RouterTest, BufferCapacityAccounting)
+{
+    RouterParams rp;
+    rp.vcsPerClass = 2;
+    rp.bufDepth = 3;
+    build(5, 5, rp);
+    // 5 inputs * (2 classes * 2 VCs) * depth 3
+    EXPECT_EQ(router->bufferCapacityFlits(), 5 * 4 * 3);
+}
+
+TEST_F(RouterTest, CreditsAvailablePerClass)
+{
+    RouterParams rp;
+    rp.vcsPerClass = 2;
+    rp.bufDepth = 2;
+    build(1, 1, rp);
+    EXPECT_EQ(router->creditsAvailable(0, NetClass::request), 4);
+    EXPECT_EQ(router->creditsAvailable(0, NetClass::reply), 4);
+}
+
+} // namespace
+} // namespace nifdy
