@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lossy.dir/bench_ext_lossy.cc.o"
+  "CMakeFiles/bench_ext_lossy.dir/bench_ext_lossy.cc.o.d"
+  "bench_ext_lossy"
+  "bench_ext_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stress.dir/bench_ext_stress.cc.o"
+  "CMakeFiles/bench_ext_stress.dir/bench_ext_stress.cc.o.d"
+  "bench_ext_stress"
+  "bench_ext_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_light.dir/bench_fig3_light.cc.o"
+  "CMakeFiles/bench_fig3_light.dir/bench_fig3_light.cc.o.d"
+  "bench_fig3_light"
+  "bench_fig3_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

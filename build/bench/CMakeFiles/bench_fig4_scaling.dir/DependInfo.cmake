@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_scaling.cc" "bench/CMakeFiles/bench_fig4_scaling.dir/bench_fig4_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_scaling.dir/bench_fig4_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nifdy_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cshift.dir/bench_fig6_cshift.cc.o"
+  "CMakeFiles/bench_fig6_cshift.dir/bench_fig6_cshift.cc.o.d"
+  "bench_fig6_cshift"
+  "bench_fig6_cshift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

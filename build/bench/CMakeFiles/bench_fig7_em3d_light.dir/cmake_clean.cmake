@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_em3d_light.dir/bench_fig7_em3d_light.cc.o"
+  "CMakeFiles/bench_fig7_em3d_light.dir/bench_fig7_em3d_light.cc.o.d"
+  "bench_fig7_em3d_light"
+  "bench_fig7_em3d_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_em3d_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_em3d_heavy.dir/bench_fig8_em3d_heavy.cc.o"
+  "CMakeFiles/bench_fig8_em3d_heavy.dir/bench_fig8_em3d_heavy.cc.o.d"
+  "bench_fig8_em3d_heavy"
+  "bench_fig8_em3d_heavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_em3d_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

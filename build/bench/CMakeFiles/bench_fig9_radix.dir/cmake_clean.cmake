@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_radix.dir/bench_fig9_radix.cc.o"
+  "CMakeFiles/bench_fig9_radix.dir/bench_fig9_radix.cc.o.d"
+  "bench_fig9_radix"
+  "bench_fig9_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_nifdy.dir/bench_micro_nifdy.cc.o"
+  "CMakeFiles/bench_micro_nifdy.dir/bench_micro_nifdy.cc.o.d"
+  "bench_micro_nifdy"
+  "bench_micro_nifdy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nifdy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

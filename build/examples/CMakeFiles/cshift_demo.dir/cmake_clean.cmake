@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cshift_demo.dir/cshift_demo.cc.o"
+  "CMakeFiles/cshift_demo.dir/cshift_demo.cc.o.d"
+  "cshift_demo"
+  "cshift_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cshift_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d_app.dir/em3d_app.cc.o"
+  "CMakeFiles/em3d_app.dir/em3d_app.cc.o.d"
+  "em3d_app"
+  "em3d_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

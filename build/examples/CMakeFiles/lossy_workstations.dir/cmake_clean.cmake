@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_workstations.dir/lossy_workstations.cc.o"
+  "CMakeFiles/lossy_workstations.dir/lossy_workstations.cc.o.d"
+  "lossy_workstations"
+  "lossy_workstations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_workstations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/nifdy_harness.dir/harness/experiment.cc.o.d"
+  "libnifdy_harness.a"
+  "libnifdy_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/butterfly.cc" "src/CMakeFiles/nifdy_net.dir/net/butterfly.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/butterfly.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/nifdy_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/fattree.cc" "src/CMakeFiles/nifdy_net.dir/net/fattree.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/fattree.cc.o.d"
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/nifdy_net.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/mesh.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/nifdy_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/router.cc" "src/CMakeFiles/nifdy_net.dir/net/router.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/router.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/nifdy_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/nifdy_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nifdy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_net.dir/net/butterfly.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/butterfly.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/channel.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/fattree.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/fattree.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/mesh.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/mesh.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/packet.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/router.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/router.cc.o.d"
+  "CMakeFiles/nifdy_net.dir/net/topology.cc.o"
+  "CMakeFiles/nifdy_net.dir/net/topology.cc.o.d"
+  "libnifdy_net.a"
+  "libnifdy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/nic.cc" "src/CMakeFiles/nifdy_nic.dir/nic/nic.cc.o" "gcc" "src/CMakeFiles/nifdy_nic.dir/nic/nic.cc.o.d"
+  "/root/repo/src/nic/nifdy.cc" "src/CMakeFiles/nifdy_nic.dir/nic/nifdy.cc.o" "gcc" "src/CMakeFiles/nifdy_nic.dir/nic/nifdy.cc.o.d"
+  "/root/repo/src/nic/nifdyparams.cc" "src/CMakeFiles/nifdy_nic.dir/nic/nifdyparams.cc.o" "gcc" "src/CMakeFiles/nifdy_nic.dir/nic/nifdyparams.cc.o.d"
+  "/root/repo/src/nic/plainnic.cc" "src/CMakeFiles/nifdy_nic.dir/nic/plainnic.cc.o" "gcc" "src/CMakeFiles/nifdy_nic.dir/nic/plainnic.cc.o.d"
+  "/root/repo/src/nic/retransmit.cc" "src/CMakeFiles/nifdy_nic.dir/nic/retransmit.cc.o" "gcc" "src/CMakeFiles/nifdy_nic.dir/nic/retransmit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nifdy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_nic.dir/nic/nic.cc.o"
+  "CMakeFiles/nifdy_nic.dir/nic/nic.cc.o.d"
+  "CMakeFiles/nifdy_nic.dir/nic/nifdy.cc.o"
+  "CMakeFiles/nifdy_nic.dir/nic/nifdy.cc.o.d"
+  "CMakeFiles/nifdy_nic.dir/nic/nifdyparams.cc.o"
+  "CMakeFiles/nifdy_nic.dir/nic/nifdyparams.cc.o.d"
+  "CMakeFiles/nifdy_nic.dir/nic/plainnic.cc.o"
+  "CMakeFiles/nifdy_nic.dir/nic/plainnic.cc.o.d"
+  "CMakeFiles/nifdy_nic.dir/nic/retransmit.cc.o"
+  "CMakeFiles/nifdy_nic.dir/nic/retransmit.cc.o.d"
+  "libnifdy_nic.a"
+  "libnifdy_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

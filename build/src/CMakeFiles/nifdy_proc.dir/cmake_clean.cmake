@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_proc.dir/proc/barrier.cc.o"
+  "CMakeFiles/nifdy_proc.dir/proc/barrier.cc.o.d"
+  "CMakeFiles/nifdy_proc.dir/proc/message.cc.o"
+  "CMakeFiles/nifdy_proc.dir/proc/message.cc.o.d"
+  "CMakeFiles/nifdy_proc.dir/proc/processor.cc.o"
+  "CMakeFiles/nifdy_proc.dir/proc/processor.cc.o.d"
+  "CMakeFiles/nifdy_proc.dir/proc/workload.cc.o"
+  "CMakeFiles/nifdy_proc.dir/proc/workload.cc.o.d"
+  "libnifdy_proc.a"
+  "libnifdy_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

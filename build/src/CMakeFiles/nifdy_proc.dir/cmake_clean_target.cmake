@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnifdy_proc.a"
+)

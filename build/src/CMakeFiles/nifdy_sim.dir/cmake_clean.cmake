@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_sim.dir/sim/config.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/nifdy_sim.dir/sim/kernel.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/kernel.cc.o.d"
+  "CMakeFiles/nifdy_sim.dir/sim/log.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/nifdy_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/nifdy_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/nifdy_sim.dir/sim/table.cc.o"
+  "CMakeFiles/nifdy_sim.dir/sim/table.cc.o.d"
+  "libnifdy_sim.a"
+  "libnifdy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

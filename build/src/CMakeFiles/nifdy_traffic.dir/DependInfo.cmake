@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cshift.cc" "src/CMakeFiles/nifdy_traffic.dir/traffic/cshift.cc.o" "gcc" "src/CMakeFiles/nifdy_traffic.dir/traffic/cshift.cc.o.d"
+  "/root/repo/src/traffic/em3d.cc" "src/CMakeFiles/nifdy_traffic.dir/traffic/em3d.cc.o" "gcc" "src/CMakeFiles/nifdy_traffic.dir/traffic/em3d.cc.o.d"
+  "/root/repo/src/traffic/radixsort.cc" "src/CMakeFiles/nifdy_traffic.dir/traffic/radixsort.cc.o" "gcc" "src/CMakeFiles/nifdy_traffic.dir/traffic/radixsort.cc.o.d"
+  "/root/repo/src/traffic/synthetic.cc" "src/CMakeFiles/nifdy_traffic.dir/traffic/synthetic.cc.o" "gcc" "src/CMakeFiles/nifdy_traffic.dir/traffic/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nifdy_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

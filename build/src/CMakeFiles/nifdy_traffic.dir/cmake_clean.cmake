@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nifdy_traffic.dir/traffic/cshift.cc.o"
+  "CMakeFiles/nifdy_traffic.dir/traffic/cshift.cc.o.d"
+  "CMakeFiles/nifdy_traffic.dir/traffic/em3d.cc.o"
+  "CMakeFiles/nifdy_traffic.dir/traffic/em3d.cc.o.d"
+  "CMakeFiles/nifdy_traffic.dir/traffic/radixsort.cc.o"
+  "CMakeFiles/nifdy_traffic.dir/traffic/radixsort.cc.o.d"
+  "CMakeFiles/nifdy_traffic.dir/traffic/synthetic.cc.o"
+  "CMakeFiles/nifdy_traffic.dir/traffic/synthetic.cc.o.d"
+  "libnifdy_traffic.a"
+  "libnifdy_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nifdy_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

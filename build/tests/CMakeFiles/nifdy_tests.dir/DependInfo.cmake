@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_butterfly.cc" "tests/CMakeFiles/nifdy_tests.dir/test_butterfly.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_butterfly.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/nifdy_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_depth.cc" "tests/CMakeFiles/nifdy_tests.dir/test_depth.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_depth.cc.o.d"
+  "/root/repo/tests/test_fattree.cc" "tests/CMakeFiles/nifdy_tests.dir/test_fattree.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_fattree.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/nifdy_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/nifdy_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/nifdy_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_message.cc" "tests/CMakeFiles/nifdy_tests.dir/test_message.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_message.cc.o.d"
+  "/root/repo/tests/test_nic.cc" "tests/CMakeFiles/nifdy_tests.dir/test_nic.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_nic.cc.o.d"
+  "/root/repo/tests/test_nifdy_bulk.cc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdy_bulk.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdy_bulk.cc.o.d"
+  "/root/repo/tests/test_nifdy_unit.cc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdy_unit.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdy_unit.cc.o.d"
+  "/root/repo/tests/test_nifdyparams.cc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdyparams.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_nifdyparams.cc.o.d"
+  "/root/repo/tests/test_packet.cc" "tests/CMakeFiles/nifdy_tests.dir/test_packet.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_packet.cc.o.d"
+  "/root/repo/tests/test_piggyback.cc" "tests/CMakeFiles/nifdy_tests.dir/test_piggyback.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_piggyback.cc.o.d"
+  "/root/repo/tests/test_proc.cc" "tests/CMakeFiles/nifdy_tests.dir/test_proc.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_proc.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/nifdy_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_retransmit.cc" "tests/CMakeFiles/nifdy_tests.dir/test_retransmit.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_retransmit.cc.o.d"
+  "/root/repo/tests/test_router.cc" "tests/CMakeFiles/nifdy_tests.dir/test_router.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_router.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/nifdy_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/nifdy_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/nifdy_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nifdy_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nifdy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
