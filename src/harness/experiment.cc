@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -167,6 +168,22 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
                                                        pool_, mp));
     }
     workloads_.resize(cfg_.numNodes);
+
+    if (cfg_.audit || Audit::envEnabled()) {
+        audit_ = std::make_unique<Audit>();
+        // The protocol guarantees per-(src,dst) ordering with a
+        // NIFDY NIC on any topology; without one, only single-path
+        // deterministic topologies deliver in order.
+        audit_->installStandardCheckers(nifdyKind ||
+                                        topologyInOrder(cfg_.topology));
+        for (const auto &nic : nics_)
+            audit_->watchNic(nic.get());
+        for (int r = 0; r < net_->numRouters(); ++r)
+            audit_->watchRouter(&net_->router(r));
+        for (int c = 0; c < net_->numChannels(); ++c)
+            audit_->watchChannel(&net_->channelAt(c));
+        kernel_.setAudit(audit_.get());
+    }
 }
 
 Experiment::~Experiment() = default;

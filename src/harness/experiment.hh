@@ -56,6 +56,9 @@ struct ExperimentConfig
     MessageParams msg;
     /** Let the software exploit in-order delivery when available. */
     bool exploitInOrder = true;
+    /** Run with the invariant-audit layer attached (also enabled by
+     * the NIFDY_AUDIT environment variable). */
+    bool audit = false;
     Cycle barrierLatency = 100;
     Cycle watchdog = 2000000;
     std::uint64_t seed = 1;
@@ -86,6 +89,9 @@ class Experiment
 
     /** The message layer's effective delivery-order mode. */
     bool inOrderDelivery() const { return inOrder_; }
+
+    /** The attached invariant audit (nullptr when disabled). */
+    Audit *audit() { return audit_.get(); }
 
     /** Install a workload on node @p n (takes ownership). */
     void setWorkload(NodeId n, std::unique_ptr<Workload> w);
@@ -128,6 +134,9 @@ class Experiment
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<MessageLayer>> msgs_;
     std::vector<std::unique_ptr<Workload>> workloads_;
+    /** Last member: destroyed first, so teardown releases in the
+     * layers above are not audited. */
+    std::unique_ptr<Audit> audit_;
 };
 
 } // namespace nifdy

@@ -78,6 +78,16 @@ class Channel
     /** Flits currently in flight (pushed, not yet popped). */
     int inFlight() const { return static_cast<int>(flits_.size()); }
 
+    /**
+     * Credit-discipline bound on in-flight flits: the consumer's
+     * total buffer capacity (VCs x depth). Set by whoever attaches
+     * the consumer; 0 means unknown/unbounded. push() panics when
+     * the bound is exceeded -- in release builds too, since a
+     * channel over capacity means the credit protocol is broken.
+     */
+    void setCapacityFlits(int capacity) { capacityFlits_ = capacity; }
+    int capacityFlits() const { return capacityFlits_; }
+
     const ChannelParams &params() const { return params_; }
 
     /** Total flits ever pushed (bandwidth accounting). */
@@ -92,6 +102,7 @@ class Channel
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, int>> credits_;
     std::uint64_t totalFlits_ = 0;
+    int capacityFlits_ = 0;
 };
 
 } // namespace nifdy

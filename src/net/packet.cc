@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -44,27 +45,21 @@ Packet::toString() const
     return os.str();
 }
 
-PacketPool::~PacketPool()
-{
-    for (Packet *p : freelist_)
-        delete p;
-}
-
 Packet *
 PacketPool::alloc()
 {
     Packet *p;
     if (freelist_.empty()) {
-        p = new Packet();
+        arena_.push_back(std::make_unique<Packet>());
+        p = arena_.back().get();
     } else {
         p = freelist_.back();
         freelist_.pop_back();
-        std::uint64_t keep = nextId_;
         *p = Packet();
-        nextId_ = keep;
     }
     p->id = nextId_++;
     ++allocated_;
+    audit::onAlloc(*p);
     return p;
 }
 
@@ -72,6 +67,7 @@ void
 PacketPool::release(Packet *pkt)
 {
     panic_if(pkt == nullptr, "PacketPool::release(nullptr)");
+    audit::onRelease(*pkt);
     ++released_;
     freelist_.push_back(pkt);
 }

@@ -12,6 +12,7 @@
 #define NIFDY_NET_PACKET_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -153,7 +154,7 @@ class PacketPool
 {
   public:
     PacketPool() = default;
-    ~PacketPool();
+    ~PacketPool() = default;
     PacketPool(const PacketPool &) = delete;
     PacketPool &operator=(const PacketPool &) = delete;
 
@@ -169,6 +170,8 @@ class PacketPool
     std::uint64_t live() const { return allocated_ - released_; }
 
   private:
+    /** Backing storage; packets are recycled through freelist_. */
+    std::vector<std::unique_ptr<Packet>> arena_;
     std::vector<Packet *> freelist_;
     std::uint64_t nextId_ = 1;
     std::uint64_t allocated_ = 0;

@@ -1,5 +1,6 @@
 #include "net/router.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -30,6 +31,8 @@ Router::addOutPort(Channel *ch, int depth)
     p.ch = ch;
     p.credits.assign(numVCs_, depth);
     p.owner.assign(numVCs_, -1);
+    // The credit discipline bounds what this channel can carry.
+    ch->setCapacityFlits(numVCs_ * depth);
     outs_.push_back(std::move(p));
     return static_cast<int>(outs_.size()) - 1;
 }
@@ -181,6 +184,7 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     outs_[bestPort].owner[bestVC] = inVcId(inPort, vcIdx);
     outs_[bestPort].reqs.push_back(inVcId(inPort, vcIdx));
     onAllocate(pkt, bestPort, bestVC % params_.vcsPerClass);
+    audit::onHop(pkt, id_);
     return true;
 }
 

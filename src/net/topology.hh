@@ -134,6 +134,13 @@ class Network
     int numRouters() const { return static_cast<int>(routers_.size()); }
     Router &router(int i) { return *routers_.at(i); }
 
+    /** All channels, including NIC attach links (audit layer). */
+    int numChannels() const
+    {
+        return static_cast<int>(channels_.size());
+    }
+    Channel &channelAt(int i) { return *channels_.at(i); }
+
     /** Internal links built degraded (fault injection). */
     int degradedLinks() const { return degradedLinks_; }
 

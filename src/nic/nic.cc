@@ -1,5 +1,6 @@
 #include "nic/nic.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -14,6 +15,10 @@ Nic::Nic(NodeId node, const Network::NodePorts &ports,
     injectCredits_.assign(numNetClasses * params_.vcsPerClass,
                           ports_.injectDepth);
     inStreams_.resize(numNetClasses * params_.vcsPerClass);
+    // Credit discipline bounds the injection channel; the ejection
+    // channel's bound is stamped by Router::addOutPort.
+    ports_.inject->setCapacityFlits(numNetClasses * params_.vcsPerClass *
+                                    ports_.injectDepth);
 }
 
 Packet *
@@ -86,6 +91,7 @@ Nic::pushArrival(Packet *pkt, Cycle now)
     panic_if(static_cast<int>(arrivals_.size()) >= params_.arrivalFifo,
              "arrivals FIFO overflow on node %d", node_);
     arrivals_.push_back(pkt);
+    audit::onDeliver(*pkt, node_);
     ++packetsDelivered_;
     wordsDelivered_ += pkt->payloadWords;
     latency_.sample(now - pkt->createdAt);
@@ -123,6 +129,7 @@ Nic::pumpInject(Cycle now)
         f.vc = static_cast<std::int8_t>(vc);
         if (f.head) {
             os.pkt->injectedAt = now;
+            audit::onInject(*os.pkt, node_);
             if (os.pkt->type != PacketType::ack &&
                 !os.pkt->ctrlOnly) {
                 ++packetsSent_;

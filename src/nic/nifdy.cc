@@ -1,5 +1,6 @@
 #include "nic/nifdy.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -31,6 +32,7 @@ NifdyNic::send(Packet *pkt, Cycle now)
 {
     panic_if(!canSend(*pkt), "send on full NIFDY pool, node %d", node_);
     pkt->createdAt = now;
+    audit::onSend(*pkt, node_);
     sendPool_.push_back({pkt, poolOrder_++});
 }
 
@@ -224,6 +226,7 @@ NifdyNic::tryPiggyback(Packet *pkt, Cycle now)
         pkt->ackDialog = ack->ackDialog;
         pkt->ackWindow = ack->ackWindow;
         ackQueue_.erase(it);
+        audit::onConsume(*ack, node_, "merged into piggyback header");
         pool_.release(ack);
         ++acksPiggybacked_;
         return;
@@ -324,6 +327,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
     if (pkt->type == PacketType::ack) {
         applyAck(*pkt, now);
+        audit::onConsume(*pkt, node_, "ack absorbed");
         pool_.release(pkt);
         return;
     }
@@ -339,6 +343,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         // The subclass has already queued the repeated ack.
         if (pkt->type == PacketType::scalar)
             consumeReservation();
+        audit::onDrop(*pkt, node_, "duplicate filtered");
         pool_.release(pkt);
         return;
     }
@@ -391,10 +396,12 @@ NifdyNic::drainDialog(int d, Cycle now)
         ++dlg.delivered;
         if (pkt->bulkExit)
             dlg.exitDelivered = true;
-        if (pkt->ctrlOnly)
+        if (pkt->ctrlOnly) {
+            audit::onConsume(*pkt, node_, "bulk control absorbed");
             pool_.release(pkt);
-        else
+        } else {
             pushArrival(pkt, now);
+        }
         noteActivity();
     }
     maybeAckDialog(d, now);

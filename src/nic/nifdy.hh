@@ -98,6 +98,41 @@ class NifdyNic : public Nic
     int activeInDialogs() const;
     //! @}
 
+    //! @name Introspection (audit layer)
+    //! @{
+    /** Destinations currently holding an OPT entry. */
+    const std::vector<NodeId> &optEntries() const { return opt_; }
+    /** Unacked packets on the outgoing bulk dialog (0 if none). */
+    int bulkUnacked() const
+    {
+        return out_.active ? out_.unacked() : 0;
+    }
+    /** Window granted to the outgoing bulk dialog (0 if none). */
+    int bulkWindowGranted() const
+    {
+        return out_.active ? out_.window : 0;
+    }
+
+    /** Read-only view of one incoming bulk dialog slot. */
+    struct InDialogView
+    {
+        bool active = false;
+        NodeId src = invalidNode;
+        std::int64_t delivered = 0;
+        std::int64_t ackedAt = 0;
+        int buffered = 0;
+        const std::vector<Packet *> *slots = nullptr;
+    };
+
+    int numInDialogs() const { return static_cast<int>(in_.size()); }
+    InDialogView inDialogView(int d) const
+    {
+        const InDialog &dlg = in_.at(static_cast<std::size_t>(d));
+        return {dlg.active, dlg.src,      dlg.delivered,
+                dlg.ackedAt, dlg.buffered, &dlg.slots};
+    }
+    //! @}
+
     //! @name Protocol statistics
     //! @{
     std::uint64_t acksSent() const { return acksSent_; }
@@ -174,13 +209,21 @@ class NifdyNic : public Nic
      */
     bool bulkPacketAcceptable(const Packet &pkt) const;
 
-  private:
     struct PoolEntry
     {
         Packet *pkt;
         std::uint64_t order;
     };
 
+    /**
+     * Rank/eligibility test for a queued scalar packet (virtual so
+     * fault-injection tests can break the admission discipline and
+     * prove the audit layer catches it).
+     */
+    virtual bool eligibleScalar(const PoolEntry &e,
+                                std::size_t idx) const;
+
+  private:
     /** Sender-side state of the (single) outgoing bulk dialog. */
     struct OutDialog
     {
@@ -216,7 +259,6 @@ class NifdyNic : public Nic
         bool exitDelivered = false;
     };
 
-    bool eligibleScalar(const PoolEntry &e, std::size_t idx) const;
     Packet *takeFromPool(std::size_t idx, Cycle now);
     /** Interpret @p ack's acknowledgment fields (standalone ack
      * packet or piggybacked data packet alike). */

@@ -1,5 +1,6 @@
 #include "nic/plainnic.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -25,6 +26,7 @@ BufferedNic::send(Packet *pkt, Cycle now)
 {
     panic_if(!canSend(*pkt), "send on full NIC %d", node_);
     pkt->createdAt = now;
+    audit::onSend(*pkt, node_);
     sendQueue_.push_back(pkt);
 }
 

@@ -1,5 +1,6 @@
 #include "nic/retransmit.hh"
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -90,6 +91,7 @@ LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         ++packetsDropped_;
         if (pkt->type == PacketType::scalar)
             consumeReservation(); // canAccept() claimed a slot
+        audit::onDrop(*pkt, node_, "fault-injected drop");
         pool_.release(pkt);
         noteActivity();
         return;

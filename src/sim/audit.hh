@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Simulator-wide invariant-audit layer.
+ *
+ * NIFDY's correctness claims are invariants: at most one outstanding
+ * scalar packet per destination (and at most O overall) in the OPT,
+ * bulk windows bounded by W with sequence numbers inside seqSpace(),
+ * credit-bounded buffer occupancy everywhere, and in-order delivery
+ * per (source, destination) even over adaptive networks. The audit
+ * layer checks them continuously instead of only at end of run: an
+ * Audit object is a registry of InvariantChecker objects that the
+ * Kernel steps once per cycle (Kernel::setAudit), fed by small
+ * observer hooks in PacketPool, Channel, Router, and the NICs.
+ *
+ * Cost model:
+ *  - compiled out entirely with -DNIFDY_AUDIT=OFF (the hook shims
+ *    below become empty inline functions);
+ *  - when compiled in, a hook costs one pointer test until an Audit
+ *    is activated at run time (Experiment/harness `audit` flag or
+ *    the NIFDY_AUDIT=1 environment variable).
+ *
+ * On a violation the offending checker panics with the full
+ * provenance trail of the packet involved (alloc, send, inject,
+ * every router hop, delivery, consumption, release).
+ */
+
+#ifndef NIFDY_SIM_AUDIT_HH
+#define NIFDY_SIM_AUDIT_HH
+
+#ifndef NIFDY_AUDIT_ENABLED
+#define NIFDY_AUDIT_ENABLED 0
+#endif
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+struct Packet;
+class Channel;
+class Nic;
+class Router;
+class Audit;
+
+/**
+ * One continuously checked invariant. Subclasses override the event
+ * hooks they care about and/or endCycle() for polled checks over the
+ * components the owning Audit watches. Violations are reported with
+ * fail(), which panics with the packet's provenance trail.
+ */
+class InvariantChecker
+{
+  public:
+    virtual ~InvariantChecker() = default;
+
+    /** Short identifier, quoted in violation reports. */
+    virtual const char *name() const = 0;
+
+    /** Polled check, run once per cycle after every component. */
+    virtual void endCycle(Cycle now);
+
+    /** End-of-run check (call after the simulation has drained). */
+    virtual void finish();
+
+    //! @name Event hooks (defaults do nothing)
+    //! @{
+    virtual void onAlloc(const Packet &pkt);
+    virtual void onSend(const Packet &pkt, NodeId node);
+    virtual void onInject(const Packet &pkt, NodeId node);
+    virtual void onHop(const Packet &pkt, int routerId);
+    virtual void onDeliver(const Packet &pkt, NodeId node);
+    virtual void onConsume(const Packet &pkt, NodeId node,
+                           const char *why);
+    virtual void onDrop(const Packet &pkt, NodeId node,
+                        const char *why);
+    virtual void onRelease(const Packet &pkt);
+    //! @}
+
+    /** The Audit this checker is registered with (set on add()). */
+    Audit *audit() const { return audit_; }
+
+  protected:
+    /** Report a violation involving @p pkt; never returns. */
+    [[noreturn]] void fail(const Packet &pkt,
+                           const std::string &msg) const;
+    /** Report a violation with no single packet involved. */
+    [[noreturn]] void fail(const std::string &msg) const;
+
+  private:
+    friend class Audit;
+    Audit *audit_ = nullptr;
+};
+
+/**
+ * The audit registry: owns the checkers, fans simulation events out
+ * to them, keeps per-packet provenance trails, and knows which
+ * components (NICs, routers, channels) the polled checks inspect.
+ *
+ * Constructing an Audit makes it the current event sink (a stack is
+ * kept so nested scopes in tests behave); destroying it pops it.
+ */
+class Audit
+{
+  public:
+    Audit();
+    ~Audit();
+    Audit(const Audit &) = delete;
+    Audit &operator=(const Audit &) = delete;
+
+    /** The active event sink, or nullptr when auditing is off. */
+    static Audit *current();
+
+    /** True when the NIFDY_AUDIT environment variable enables
+     * auditing at run time (value not "0"/"off"/""). */
+    static bool envEnabled();
+
+    /** Register a checker (takes ownership). */
+    void add(std::unique_ptr<InvariantChecker> checker);
+
+    /**
+     * Install the standard checker set: packet lifecycle, OPT/bulk
+     * discipline, capacity, and (when @p expectInOrder) per
+     * (src, dst) delivery ordering.
+     */
+    void installStandardCheckers(bool expectInOrder);
+
+    //! @name Components inspected by polled checks
+    //! @{
+    struct WatchedChannel
+    {
+        Channel *ch;
+        int capacityFlits; //!< 0 = use the channel's own capacity
+    };
+
+    void watchNic(Nic *nic);
+    void watchRouter(Router *router);
+    void watchChannel(Channel *ch, int capacityFlits = 0);
+
+    const std::vector<Nic *> &nics() const { return nics_; }
+    const std::vector<Router *> &routers() const { return routers_; }
+    const std::vector<WatchedChannel> &channels() const
+    {
+        return channels_;
+    }
+    //! @}
+
+    //! @name Event fan-out (called through the shims below)
+    //! @{
+    void alloc(const Packet &pkt);
+    void send(const Packet &pkt, NodeId node);
+    void inject(const Packet &pkt, NodeId node);
+    void hop(const Packet &pkt, int routerId);
+    void deliver(const Packet &pkt, NodeId node);
+    void consume(const Packet &pkt, NodeId node, const char *why);
+    void drop(const Packet &pkt, NodeId node, const char *why);
+    void release(const Packet &pkt);
+    //! @}
+
+    /** Run every checker's polled check; the Kernel calls this after
+     * all components have stepped cycle @p now. */
+    void endCycle(Cycle now);
+
+    /** Run end-of-run checks (call once the simulation drained). */
+    void finish();
+
+    /** Render the recorded provenance trail of packet @p pktId. */
+    std::string provenance(std::uint64_t pktId) const;
+
+    /** Events dispatched since construction (tests/reporting). */
+    std::uint64_t eventsSeen() const { return eventsSeen_; }
+
+  private:
+    void record(const Packet &pkt, std::string event);
+
+    std::vector<std::unique_ptr<InvariantChecker>> checkers_;
+    std::vector<Nic *> nics_;
+    std::vector<Router *> routers_;
+    std::vector<WatchedChannel> channels_;
+    /** Provenance trails keyed by packet id (pruned on release). */
+    struct Trail;
+    std::unique_ptr<Trail> trails_;
+    std::uint64_t eventsSeen_ = 0;
+};
+
+/**
+ * Observer hook shims. Components call these unconditionally; they
+ * compile to nothing with -DNIFDY_AUDIT=OFF and to one pointer test
+ * while no Audit is active.
+ */
+namespace audit
+{
+
+inline Audit *
+sink()
+{
+#if NIFDY_AUDIT_ENABLED
+    return Audit::current();
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+onAlloc(const Packet &pkt)
+{
+    if (Audit *a = sink())
+        a->alloc(pkt);
+    (void)pkt;
+}
+
+inline void
+onSend(const Packet &pkt, NodeId node)
+{
+    if (Audit *a = sink())
+        a->send(pkt, node);
+    (void)pkt;
+    (void)node;
+}
+
+inline void
+onInject(const Packet &pkt, NodeId node)
+{
+    if (Audit *a = sink())
+        a->inject(pkt, node);
+    (void)pkt;
+    (void)node;
+}
+
+inline void
+onHop(const Packet &pkt, int routerId)
+{
+    if (Audit *a = sink())
+        a->hop(pkt, routerId);
+    (void)pkt;
+    (void)routerId;
+}
+
+inline void
+onDeliver(const Packet &pkt, NodeId node)
+{
+    if (Audit *a = sink())
+        a->deliver(pkt, node);
+    (void)pkt;
+    (void)node;
+}
+
+inline void
+onConsume(const Packet &pkt, NodeId node, const char *why)
+{
+    if (Audit *a = sink())
+        a->consume(pkt, node, why);
+    (void)pkt;
+    (void)node;
+    (void)why;
+}
+
+inline void
+onDrop(const Packet &pkt, NodeId node, const char *why)
+{
+    if (Audit *a = sink())
+        a->drop(pkt, node, why);
+    (void)pkt;
+    (void)node;
+    (void)why;
+}
+
+inline void
+onRelease(const Packet &pkt)
+{
+    if (Audit *a = sink())
+        a->release(pkt);
+    (void)pkt;
+}
+
+} // namespace audit
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_AUDIT_HH

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -21,6 +22,8 @@ Kernel::step()
     activeThisCycle_ = false;
     for (Steppable *obj : objects_)
         obj->step(now_);
+    if (audit_)
+        audit_->endCycle(now_);
     ++now_;
     if (activeThisCycle_)
         idleCycles_ = 0;

@@ -23,6 +23,8 @@
 namespace nifdy
 {
 
+class Audit;
+
 /** Anything advanced once per cycle by the Kernel. */
 class Steppable
 {
@@ -76,6 +78,14 @@ class Kernel
     void setWatchdogLimit(Cycle limit) { watchdogLimit_ = limit; }
     Cycle watchdogLimit() const { return watchdogLimit_; }
 
+    /**
+     * Attach an invariant-audit registry (non-owning, may be
+     * nullptr): its polled checks run at the end of every cycle,
+     * after all components have stepped.
+     */
+    void setAudit(Audit *audit) { audit_ = audit; }
+    Audit *audit() const { return audit_; }
+
   private:
     Cycle now_ = 0;
     bool activeThisCycle_ = false;
@@ -83,6 +93,7 @@ class Kernel
     Cycle watchdogLimit_ = 200000;
     std::vector<Steppable *> objects_;
     std::vector<std::string> names_;
+    Audit *audit_ = nullptr;
 };
 
 } // namespace nifdy

@@ -86,4 +86,10 @@ informImpl(const char *fmt, ...)
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
+void
+printRaw(const std::string &text)
+{
+    std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
 } // namespace nifdy

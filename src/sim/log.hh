@@ -3,9 +3,11 @@
  * gem5-style status and error reporting.
  *
  * panic()  - a simulator bug: something that should never happen
- *            regardless of user input. Aborts (may dump core).
+ *            regardless of user input. Throws std::logic_error
+ *            (fatal at top level; catchable by tests).
  * fatal()  - a user error (bad configuration, invalid arguments).
- *            Exits with status 1.
+ *            Throws std::runtime_error (exits with status 1 at top
+ *            level).
  * warn()   - functionality that might not behave as expected.
  * inform() - plain status output.
  */
@@ -29,6 +31,10 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Silence inform()/warn() output (used by tests and benches). */
 void setQuiet(bool quiet);
 bool quiet();
+
+/** Write @p text verbatim to stdout (the single stdio funnel for
+ * report output such as tables). */
+void printRaw(const std::string &text);
 
 } // namespace nifdy
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/log.hh"
+
 namespace nifdy
 {
 
@@ -95,8 +97,7 @@ Table::csv() const
 void
 Table::print() const
 {
-    std::fputs(str().c_str(), stdout);
-    std::fputc('\n', stdout);
+    printRaw(str() + "\n");
 }
 
 } // namespace nifdy

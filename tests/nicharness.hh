@@ -11,11 +11,13 @@
 #define NIFDY_TESTS_NICHARNESS_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "nic/nifdy.hh"
 #include "nic/retransmit.hh"
+#include "sim/audit.hh"
 
 namespace nifdy
 {
@@ -23,10 +25,16 @@ namespace nifdy
 class NifdyHarness
 {
   public:
+    /** Custom NIC builder (fault-injection mutants in test_audit). */
+    using NicFactory = std::function<std::unique_ptr<NifdyNic>(
+        NodeId, const Network::NodePorts &, const NicParams &,
+        const NifdyConfig &, PacketPool &)>;
+
     explicit NifdyHarness(const NifdyConfig &cfg, int nodes = 4,
                           const std::string &topology = "mesh2d",
                           double dropProb = -1.0,
-                          Cycle retxTimeout = 3000)
+                          Cycle retxTimeout = 3000,
+                          NicFactory factory = nullptr)
     {
         NetworkParams np;
         np.numNodes = nodes;
@@ -40,7 +48,10 @@ class NifdyHarness
             nicp.ejectDepth = p.ejectDepth;
             nicp.arrivalFifo = 2;
             nicp.seed = 1;
-            if (dropProb >= 0) {
+            if (factory) {
+                nics.push_back(factory(n, net->nodePorts(n), nicp,
+                                       cfg, pool));
+            } else if (dropProb >= 0) {
                 LossyConfig lc;
                 lc.dropProb = dropProb;
                 lc.retxTimeout = retxTimeout;
@@ -58,9 +69,33 @@ class NifdyHarness
         pollEnabled.assign(nodes, 1);
         poller.h = this;
         kernel.add(&poller);
+        if (Audit::envEnabled())
+            ensureAudit();
     }
 
     ~NifdyHarness() { releaseReceived(); }
+
+    /**
+     * Attach the invariant-audit layer (idempotent). The mesh is
+     * single-path and the NICs run NIFDY, so the in-order checker
+     * is always installed.
+     */
+    Audit &
+    ensureAudit()
+    {
+        if (audit)
+            return *audit;
+        audit = std::make_unique<Audit>();
+        audit->installStandardCheckers(true);
+        for (const auto &n : nics)
+            audit->watchNic(n.get());
+        for (int r = 0; r < net->numRouters(); ++r)
+            audit->watchRouter(&net->router(r));
+        for (int c = 0; c < net->numChannels(); ++c)
+            audit->watchChannel(&net->channelAt(c));
+        kernel.setAudit(audit.get());
+        return *audit;
+    }
 
     NifdyNic &nic(NodeId n) { return *nics.at(n); }
 
@@ -137,6 +172,10 @@ class NifdyHarness
 
     Kernel kernel;
     PacketPool pool;
+    /** Declared before the pool users, destroyed after them; the
+     * dtor-time releaseReceived() is still audited (those packets
+     * were delivered, so their release is legal). */
+    std::unique_ptr<Audit> audit;
     std::unique_ptr<Network> net;
     std::vector<std::unique_ptr<NifdyNic>> nics;
     std::vector<std::vector<Packet *>> received;

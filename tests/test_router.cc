@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "net/router.hh"
+#include "sim/kernel.hh"
 
 namespace nifdy
 {
@@ -43,6 +44,7 @@ class RouterTest : public ::testing::Test
     {
         params = rp;
         router = std::make_unique<TestRouter>(0, rp);
+        kernel.add(router.get(), "router");
         ChannelParams cp;
         cp.cyclesPerFlit = cyclesPerFlit;
         cp.latency = 1;
@@ -75,7 +77,9 @@ class RouterTest : public ::testing::Test
         }
     }
 
-    /** Run @p cycles, feeding inputs and draining outputs. */
+    /** Run @p cycles, feeding inputs and draining outputs. The
+     * router itself is stepped by the kernel it is registered
+     * with. */
     void
     pump(Cycle cycles)
     {
@@ -93,7 +97,7 @@ class RouterTest : public ::testing::Test
                     }
                 }
             }
-            router->step(now);
+            kernel.step();
             for (std::size_t o = 0; o < outs.size(); ++o) {
                 if (!drainEnabled[o])
                     continue;
@@ -108,6 +112,7 @@ class RouterTest : public ::testing::Test
 
     RouterParams params;
     PacketPool pool;
+    Kernel kernel;
     std::unique_ptr<TestRouter> router;
     std::vector<std::unique_ptr<Channel>> ins;
     std::vector<std::unique_ptr<Channel>> outs;
@@ -227,7 +232,7 @@ TEST_F(RouterTest, BufferOverflowPanics)
     EXPECT_THROW(
         {
             for (Cycle c = 0; c < 10; ++c)
-                router->step(c);
+                kernel.step();
         },
         std::logic_error);
     pool.release(p);
