@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <sstream>
+
 #include "sim/audit.hh"
+#include "sim/config.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -105,6 +108,21 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
     net_->addToKernel(kernel_);
     kernel_.setWatchdogLimit(cfg_.watchdog);
 
+    cfg_.fault.validate();
+    if (cfg_.fault.active()) {
+        // Down windows alone are survivable by any NIC where the
+        // topology offers an alternative path; actually losing
+        // packets needs the retransmitting NIC to recover them.
+        fatal_if((cfg_.fault.dropProb > 0 ||
+                  cfg_.fault.corruptProb > 0) &&
+                     cfg_.nicKind != NicKind::lossy,
+                 "fault.dropProb/fault.corruptProb require "
+                 "nic=lossy: no other NIC recovers lost packets");
+        injector_ = std::make_unique<FaultInjector>(cfg_.fault,
+                                                    cfg_.seed, pool_);
+        injector_->attachNetwork(*net_);
+    }
+
     barrier_ = std::make_unique<Barrier>(cfg_.numNodes,
                                          cfg_.barrierLatency);
 
@@ -152,6 +170,9 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         }
         nic->setKernel(&kernel_);
         kernel_.add(nic.get(), "nic" + std::to_string(n));
+        if (cfg_.nicKind == NicKind::lossy)
+            lossyNics_.push_back(
+                static_cast<LossyNifdyNic *>(nic.get()));
         nics_.push_back(std::move(nic));
 
         auto proc = std::make_unique<Processor>(n, *nics_.back(),
@@ -182,6 +203,7 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
             audit_->watchRouter(&net_->router(r));
         for (int c = 0; c < net_->numChannels(); ++c)
             audit_->watchChannel(&net_->channelAt(c));
+        audit_->setExpectFaults(injector_ != nullptr);
         kernel_.setAudit(audit_.get());
     }
 }
@@ -219,10 +241,60 @@ Experiment::runFor(Cycle cycles)
     return kernel_.run(cycles);
 }
 
+std::vector<std::pair<NodeId, NodeId>>
+Experiment::deadPeerPairs() const
+{
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (const LossyNifdyNic *ln : lossyNics_)
+        for (NodeId peer : ln->deadPeers())
+            pairs.emplace_back(ln->node(), peer);
+    return pairs;
+}
+
 Cycle
 Experiment::runUntilDone(Cycle maxCycles)
 {
-    return kernel_.run(maxCycles, [this] { return allDone(); });
+    // Grace period before a stalled run with dead peers is declared
+    // unfinishable: long enough for any in-flight recovery (two full
+    // backed-off timeouts) to make progress if it ever will.
+    Cycle grace =
+        std::max<Cycle>(50000, 2 * cfg_.lossy.effMaxTimeout());
+    std::uint64_t lastProgress = ~std::uint64_t(0);
+    Cycle progressAt = 0;
+    Cycle ran = kernel_.run(
+        maxCycles, [this, grace, &lastProgress, &progressAt] {
+            if (allDone())
+                return true;
+            if (lossyNics_.empty())
+                return false;
+            bool anyDead = false;
+            for (const LossyNifdyNic *ln : lossyNics_) {
+                if (!ln->deadPeers().empty()) {
+                    anyDead = true;
+                    break;
+                }
+            }
+            if (!anyDead)
+                return false;
+            std::uint64_t progress = net_->totalFlitsSwitched() +
+                                     packetsDelivered() +
+                                     packetsSent();
+            if (progress != lastProgress) {
+                lastProgress = progress;
+                progressAt = kernel_.now();
+                return false;
+            }
+            // Peers are dead and nothing has moved for the whole
+            // grace period: the remaining work is unreachable.
+            return kernel_.now() - progressAt >= grace;
+        });
+    if (!allDone()) {
+        for (const auto &dp : deadPeerPairs())
+            warn("run ended unfinished: node %d gave up on dead "
+                 "peer %d",
+                 dp.first, dp.second);
+    }
+    return ran;
 }
 
 std::uint64_t
@@ -317,16 +389,53 @@ Experiment::statsTable() const
         std::uint64_t retx = 0;
         std::uint64_t drops = 0;
         std::uint64_t dups = 0;
-        for (const auto &nic : nics_) {
-            auto &ln = dynamic_cast<const LossyNifdyNic &>(*nic);
-            retx += ln.retransmissions();
-            drops += ln.packetsDropped();
-            dups += ln.duplicatesSeen();
+        std::uint64_t crc = 0;
+        std::uint64_t abandoned = 0;
+        std::uint64_t recSum = 0;
+        std::uint64_t recCount = 0;
+        std::uint64_t recMax = 0;
+        for (const LossyNifdyNic *ln : lossyNics_) {
+            retx += ln->retransmissions();
+            drops += ln->packetsDropped();
+            dups += ln->duplicatesSeen();
+            crc += ln->corruptDropped();
+            abandoned += ln->packetsAbandoned();
+            const Distribution &d = ln->recoveryLatency();
+            recSum += d.sum();
+            recCount += d.count();
+            recMax = std::max(recMax, d.max());
         }
         t.row({"retransmissions / drops / dups",
                Table::num(static_cast<long>(retx)) + " / " +
                    Table::num(static_cast<long>(drops)) + " / " +
                    Table::num(static_cast<long>(dups))});
+        if (crc > 0)
+            t.row({"corrupt packets discarded (CRC)",
+                   Table::num(static_cast<long>(crc))});
+        if (recCount > 0)
+            t.row({"recovery latency mean / max",
+                   Table::num(double(recSum) / recCount, 1) + " / " +
+                       Table::num(static_cast<long>(recMax))});
+        int dead = totalDeadPeers();
+        if (dead > 0)
+            t.row({"dead peers / packets abandoned",
+                   Table::num(static_cast<long>(dead)) + " / " +
+                       Table::num(static_cast<long>(abandoned))});
+    }
+    if (injector_) {
+        t.row({"fabric drops (pkts / flits)",
+               Table::num(static_cast<long>(
+                   injector_->packetsDroppedInFabric())) +
+                   " / " +
+                   Table::num(static_cast<long>(
+                       injector_->flitsDroppedInFabric()))});
+        t.row({"fabric corruptions",
+               Table::num(static_cast<long>(
+                   injector_->packetsCorrupted()))});
+        if (injector_->linksDowned() > 0)
+            t.row({"links downed",
+                   Table::num(static_cast<long>(
+                       injector_->linksDowned()))});
     }
 
     t.row({"fabric flits switched",
@@ -340,6 +449,121 @@ Experiment::statsTable() const
                           3)});
     t.row({"in-order delivery", inOrder_ ? "yes" : "no"});
     return t;
+}
+
+ExperimentConfig
+experimentFromConfig(const Config &conf)
+{
+    ExperimentConfig cfg;
+    cfg.topology = conf.getString("topology", cfg.topology);
+    cfg.numNodes =
+        static_cast<int>(conf.getInt("nodes", cfg.numNodes));
+    cfg.seed = static_cast<std::uint64_t>(
+        conf.getInt("seed", static_cast<long>(cfg.seed)));
+    cfg.watchdog = static_cast<Cycle>(
+        conf.getInt("watchdog", static_cast<long>(cfg.watchdog)));
+    cfg.barrierLatency = static_cast<Cycle>(conf.getInt(
+        "barrierLatency", static_cast<long>(cfg.barrierLatency)));
+    cfg.audit = conf.getBool("audit", cfg.audit);
+    cfg.exploitInOrder =
+        conf.getBool("exploitInOrder", cfg.exploitInOrder);
+
+    std::string nic = conf.getString("nic", "nifdy");
+    if (nic == "none")
+        cfg.nicKind = NicKind::none;
+    else if (nic == "buffers")
+        cfg.nicKind = NicKind::buffers;
+    else if (nic == "nifdy")
+        cfg.nicKind = NicKind::nifdy;
+    else if (nic == "lossy" || nic == "nifdy-lossy")
+        cfg.nicKind = NicKind::lossy;
+    else
+        fatal("unknown nic kind '%s' (want none, buffers, nifdy, "
+              "or lossy)",
+              nic.c_str());
+
+    if (conf.has("nifdy.opt") || conf.has("nifdy.pool") ||
+        conf.has("nifdy.dialogs") || conf.has("nifdy.window")) {
+        cfg.nifdyExplicit = true;
+        cfg.nifdy.opt = static_cast<int>(
+            conf.getInt("nifdy.opt", cfg.nifdy.opt));
+        cfg.nifdy.pool = static_cast<int>(
+            conf.getInt("nifdy.pool", cfg.nifdy.pool));
+        cfg.nifdy.dialogs = static_cast<int>(
+            conf.getInt("nifdy.dialogs", cfg.nifdy.dialogs));
+        cfg.nifdy.window = static_cast<int>(
+            conf.getInt("nifdy.window", cfg.nifdy.window));
+    }
+
+    cfg.lossy.dropProb =
+        conf.getDouble("lossy.dropProb", cfg.lossy.dropProb);
+    cfg.lossy.retxTimeout = static_cast<Cycle>(conf.getInt(
+        "lossy.retxTimeout",
+        static_cast<long>(cfg.lossy.retxTimeout)));
+    cfg.lossy.backoffFactor = conf.getDouble(
+        "lossy.backoffFactor", cfg.lossy.backoffFactor);
+    cfg.lossy.maxRetxTimeout = static_cast<Cycle>(conf.getInt(
+        "lossy.maxRetxTimeout",
+        static_cast<long>(cfg.lossy.maxRetxTimeout)));
+    cfg.lossy.jitterFrac =
+        conf.getDouble("lossy.jitterFrac", cfg.lossy.jitterFrac);
+    cfg.lossy.maxRetries = static_cast<int>(
+        conf.getInt("lossy.maxRetries", cfg.lossy.maxRetries));
+    cfg.lossy.validate();
+
+    cfg.fault = FaultPlan::fromConfig(conf);
+    return cfg;
+}
+
+std::string
+experimentCliHelp()
+{
+    std::ostringstream os;
+    os << "experiment keys (key=value):\n"
+          "  topology=NAME          mesh2d, mesh3d, torus2d, "
+          "fattree, fattree-saf,\n"
+          "                         cm5, butterfly, multibutterfly, "
+          "mesh2d-adaptive\n"
+          "  nodes=N                number of nodes\n"
+          "  nic=KIND               none, buffers, nifdy, lossy\n"
+          "  seed=N                 experiment RNG seed\n"
+          "  watchdog=N             idle-cycle watchdog limit\n"
+          "  barrierLatency=N       barrier network latency\n"
+          "  audit=BOOL             attach the invariant audit\n"
+          "  exploitInOrder=BOOL    software uses in-order delivery\n"
+          "NIFDY protocol (setting any makes them explicit):\n"
+          "  nifdy.opt=N nifdy.pool=N nifdy.dialogs=N nifdy.window=N\n"
+          "lossy NIC (Section 6.2 retransmission, nic=lossy):\n"
+          "  lossy.dropProb=P       receiver-side drop probability "
+          "[0, 1)\n"
+          "  lossy.retxTimeout=N    initial retransmit timeout, "
+          "cycles >= 1\n"
+          "  lossy.backoffFactor=F  timeout multiplier per retry "
+          "(>= 1)\n"
+          "  lossy.maxRetxTimeout=N backoff ceiling (0 = 16x "
+          "lossy.retxTimeout)\n"
+          "  lossy.jitterFrac=F     deadline jitter fraction [0, 1)\n"
+          "  lossy.maxRetries=N     declare peer dead after N "
+          "retries (0 = never)\n"
+          "in-fabric fault injection:\n"
+          "  fault.dropProb=P       per-hop packet drop probability "
+          "[0, 1]\n"
+          "  fault.corruptProb=P    per-hop corruption probability "
+          "[0, 1]\n"
+          "  fault.maxDrops=N       stop injecting after N packets "
+          "(-1 = unlimited)\n"
+          "  fault.seed=N           fault RNG seed (0 = experiment "
+          "seed)\n"
+          "  fault.linkDown=SPECS   LINK@FROM[+DUR],... link "
+          "outage windows\n"
+          "  fault.portDown=SPECS   ROUTER.PORT@FROM[+DUR],... "
+          "port failures\n"
+          "  fault.downLinks=N      additionally down N random "
+          "internal links\n"
+          "  fault.downFrom=N       ...starting at this cycle\n"
+          "  fault.downFor=N        ...for this many cycles (0 = "
+          "permanently)\n";
+    return os.str();
 }
 
 } // namespace nifdy

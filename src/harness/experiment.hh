@@ -20,10 +20,13 @@
 #include "nic/plainnic.hh"
 #include "nic/retransmit.hh"
 #include "proc/workload.hh"
+#include "sim/fault.hh"
 #include "sim/table.hh"
 
 namespace nifdy
 {
+
+class Config;
 
 /** Which network interface each node gets. */
 enum class NicKind
@@ -52,6 +55,9 @@ struct ExperimentConfig
     NifdyConfig nifdy;
     bool nifdyExplicit = false;
     LossyConfig lossy;
+    /** In-fabric fault injection (drops, corruption, link outages).
+     * Probabilistic faults require nicKind == lossy. */
+    FaultPlan fault;
     ProcParams proc;
     MessageParams msg;
     /** Let the software exploit in-order delivery when available. */
@@ -93,6 +99,19 @@ class Experiment
     /** The attached invariant audit (nullptr when disabled). */
     Audit *audit() { return audit_.get(); }
 
+    /** The fault injector (nullptr when the plan is empty). */
+    FaultInjector *faults() { return injector_.get(); }
+
+    //! @name Dead-peer reporting (graceful degradation)
+    //! @{
+    /** (reporting node, dead peer) pairs across all lossy NICs. */
+    std::vector<std::pair<NodeId, NodeId>> deadPeerPairs() const;
+    int totalDeadPeers() const
+    {
+        return static_cast<int>(deadPeerPairs().size());
+    }
+    //! @}
+
     /** Install a workload on node @p n (takes ownership). */
     void setWorkload(NodeId n, std::unique_ptr<Workload> w);
 
@@ -105,7 +124,14 @@ class Experiment
     /** Run a fixed number of cycles; returns cycles executed. */
     Cycle runFor(Cycle cycles);
 
-    /** Run until allDone() or the cycle budget runs out. */
+    /**
+     * Run until allDone() or the cycle budget runs out. When peers
+     * have been declared dead, the run also stops once no progress
+     * has been made for a grace period (the remaining work is
+     * unreachable) and logs a dead-peer report, so a partitioned
+     * network terminates with a diagnosis instead of hanging in
+     * drain detection.
+     */
     Cycle runUntilDone(Cycle maxCycles);
 
     //! @name Aggregate delivery statistics (data packets)
@@ -129,8 +155,12 @@ class Experiment
     Kernel kernel_;
     PacketPool pool_;
     std::unique_ptr<Network> net_;
+    /** After net_: routers keep a raw pointer to the injector. */
+    std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<Barrier> barrier_;
     std::vector<std::unique_ptr<Nic>> nics_;
+    /** Downcast cache of nics_ when nicKind == lossy. */
+    std::vector<LossyNifdyNic *> lossyNics_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<MessageLayer>> msgs_;
     std::vector<std::unique_ptr<Workload>> workloads_;
@@ -138,6 +168,17 @@ class Experiment
      * layers above are not audited. */
     std::unique_ptr<Audit> audit_;
 };
+
+/**
+ * Build an ExperimentConfig from the key=value Config/CLI layer, so
+ * every experiment -- including lossy and fault-injected ones -- is
+ * runnable without recompiling. Unknown values and out-of-range
+ * knobs are fatal(). See experimentCliHelp() for the key list.
+ */
+ExperimentConfig experimentFromConfig(const Config &conf);
+
+/** Human-readable key=value reference for experimentFromConfig(). */
+std::string experimentCliHelp();
 
 } // namespace nifdy
 

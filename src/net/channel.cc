@@ -23,8 +23,29 @@ Channel::classRate(NetClass cls) const
 bool
 Channel::canPush(NetClass cls, Cycle now) const
 {
+    if (downAt(now))
+        return false;
     int slot = params_.timeSliced ? static_cast<int>(cls) : 0;
     return nextFree_[slot] <= now;
+}
+
+void
+Channel::addDownWindow(Cycle from, Cycle until)
+{
+    panic_if(until != 0 && until <= from,
+             "empty channel down window [%llu, %llu)",
+             static_cast<unsigned long long>(from),
+             static_cast<unsigned long long>(until));
+    down_.push_back({from, until});
+}
+
+bool
+Channel::downAt(Cycle now) const
+{
+    for (const DownWindow &w : down_)
+        if (now >= w.from && (w.until == 0 || now < w.until))
+            return true;
+    return false;
 }
 
 void

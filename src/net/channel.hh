@@ -93,10 +93,32 @@ class Channel
     /** Total flits ever pushed (bandwidth accounting). */
     std::uint64_t totalFlits() const { return totalFlits_; }
 
+    //! @name Fault injection: link-down windows
+    //! @{
+    /**
+     * Declare the link down in [from, until); until == 0 means down
+     * permanently. While down the channel refuses new flits
+     * (canPush() is false) but keeps delivering flits and credits
+     * already in flight, matching a cable pulled mid-transfer after
+     * the last word cleared the serializer.
+     */
+    void addDownWindow(Cycle from, Cycle until);
+    /** Is the link inside a down window at cycle @p now? */
+    bool downAt(Cycle now) const;
+    //! @}
+
   private:
     int classRate(NetClass cls) const;
 
+    /** [from, until) link outage; until == 0 = permanent. */
+    struct DownWindow
+    {
+        Cycle from = 0;
+        Cycle until = 0;
+    };
+
     ChannelParams params_;
+    std::vector<DownWindow> down_;
     /** Serializer next-free time; [0] shared or per class. */
     Cycle nextFree_[numNetClasses] = {0, 0};
     std::deque<std::pair<Cycle, Flit>> flits_;

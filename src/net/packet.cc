@@ -42,6 +42,10 @@ Packet::toString() const
         os << " breq";
     if (bulkExit)
         os << " bexit";
+    if (corrupted)
+        os << " corrupt";
+    if (cloneOf)
+        os << " retx#" << attempt << " of pkt#" << cloneOf;
     return os.str();
 }
 

@@ -108,6 +108,22 @@ struct Packet
     std::int32_t payloadWords = 0; //!< useful payload carried
     //! @}
 
+    /**
+     * Fault-injection marker: the packet was corrupted on an
+     * internal link. Flits keep flowing (flow control is
+     * unaffected); the receiving NIC's CRC check discards the
+     * packet, which the Section 6.2 retransmission then repairs.
+     */
+    bool corrupted = false;
+
+    //! @name Retransmission provenance (Section 6.2, not on wire)
+    //! @{
+    /** Original packet id when this is a retransmission clone. */
+    std::uint64_t cloneOf = 0;
+    /** Retransmission attempt number (0 = first transmission). */
+    std::int32_t attempt = 0;
+    //! @}
+
     //! @name Instrumentation
     //! @{
     Cycle createdAt = 0;  //!< handed to the NIC by the processor

@@ -1,6 +1,7 @@
 #include "net/router.hh"
 
 #include "sim/audit.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -87,6 +88,15 @@ Router::step(Cycle now)
     for (InPort &ip : ins_) {
         while (ip.ch->hasFlit(now)) {
             Flit f = ip.ch->pop(now);
+            if (faults_ && faults_->filterArrival(id_, ip.ch, f, now)) {
+                // Swallowed by fault injection. Return the input
+                // buffer credit the upstream hop charged for this
+                // flit so the loss stays invisible to flow control.
+                ip.ch->pushCredit(f.vc, now);
+                if (kernel_)
+                    kernel_->noteActivity();
+                continue;
+            }
             VirtChan &vc = ip.vcs[f.vc];
             vc.buf.push_back(f);
             ++bufferedFlits_;
@@ -114,7 +124,6 @@ Router::step(Cycle now)
 bool
 Router::tryAllocate(int inPort, int vcIdx, Cycle now)
 {
-    (void)now;
     VirtChan &vc = ins_[inPort].vcs[vcIdx];
     Packet &pkt = *vc.buf.front().pkt;
 
@@ -132,6 +141,10 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     int ties = 0;
     for (int op : candidateScratch_) {
         OutPort &out = outs_[op];
+        // Fault-aware routing: never commit a packet to a link that
+        // is down right now; adaptive topologies reroute around it.
+        if (out.ch->downAt(now))
+            continue;
         unsigned mask = vcMaskForHop(op, pkt);
         // Find a free output VC within the class, preferring one
         // that has credits right now.

@@ -29,6 +29,8 @@
 namespace nifdy
 {
 
+class FaultInjector;
+
 /** Static router configuration. */
 struct RouterParams
 {
@@ -89,6 +91,19 @@ class Router : public Steppable
 
     /** Attach the kernel for activity reporting. */
     void setKernel(Kernel *k) { kernel_ = k; }
+
+    /**
+     * Register a fault injector whose filterArrival() screens every
+     * flit this router absorbs (nullptr disables). The injector must
+     * outlive the router.
+     */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /** The channel attached to output port @p outPort. */
+    Channel *outChannel(int outPort) const
+    {
+        return outs_[outPort].ch;
+    }
 
     /** Total buffer capacity in flits (volume accounting). */
     int bufferCapacityFlits() const;
@@ -156,6 +171,7 @@ class Router : public Steppable
     int bufferedFlits_ = 0;
     std::uint64_t flitsSwitched_ = 0;
     Kernel *kernel_ = nullptr;
+    FaultInjector *faults_ = nullptr;
     std::vector<int> candidateScratch_;
 };
 

@@ -96,6 +96,7 @@ Network::newChannel()
         ++degradedLinks_;
     }
     channels_.push_back(std::make_unique<Channel>(cp));
+    internalIdx_.push_back(static_cast<int>(channels_.size()) - 1);
     return channels_.back().get();
 }
 

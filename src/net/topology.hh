@@ -144,6 +144,19 @@ class Network
     /** Internal links built degraded (fault injection). */
     int degradedLinks() const { return degradedLinks_; }
 
+    //! @name Internal (router-to-router) links, in construction
+    //! order; stable fault-plan addressing excludes NIC attach links.
+    //! @{
+    int numInternalChannels() const
+    {
+        return static_cast<int>(internalIdx_.size());
+    }
+    Channel &internalChannel(int i)
+    {
+        return *channels_.at(internalIdx_.at(i));
+    }
+    //! @}
+
   protected:
     Channel *newChannel();
     Channel *newNicChannel();
@@ -159,6 +172,8 @@ class Network
     Rng faultRng_{1, 0xfa17};
     bool faultRngSeeded_ = false;
     int degradedLinks_ = 0;
+    /** Indices into channels_ of the internal links. */
+    std::vector<int> internalIdx_;
 };
 
 /**

@@ -310,6 +310,38 @@ NifdyNic::clearOpt(NodeId dst)
     return false;
 }
 
+int
+NifdyNic::abandonPeer(NodeId peer, Cycle now)
+{
+    (void)now;
+    int released = 0;
+    clearOpt(peer);
+    if ((out_.active || out_.requested) && out_.peer == peer)
+        out_ = OutDialog();
+    for (std::size_t i = sendPool_.size(); i > 0; --i) {
+        Packet *p = sendPool_[i - 1].pkt;
+        if (p->dst != peer)
+            continue;
+        audit::onDrop(*p, node_, "peer dead: queued send discarded");
+        pool_.release(p);
+        sendPool_.erase(sendPool_.begin() +
+                        static_cast<std::ptrdiff_t>(i - 1));
+        ++released;
+    }
+    for (auto it = ackQueue_.begin(); it != ackQueue_.end();) {
+        if ((*it)->dst == peer) {
+            audit::onDrop(**it, node_,
+                          "peer dead: queued ack discarded");
+            pool_.release(*it);
+            it = ackQueue_.erase(it);
+            ++released;
+        } else {
+            ++it;
+        }
+    }
+    return released;
+}
+
 void
 NifdyNic::issueScalarAck(Packet *pkt, Cycle now)
 {

@@ -195,6 +195,18 @@ class NifdyNic : public Nic
     bool clearOpt(NodeId dst);
 
     /**
+     * Section 6.2 graceful degradation: forget every piece of
+     * sender-side state directed at @p peer -- its OPT entry, the
+     * outgoing bulk dialog if it belongs to the peer, and queued
+     * sends/acks (dropped with a reason and released). Called by
+     * the lossy extension when a retry cap declares the peer dead,
+     * so an unreachable destination cannot wedge drain detection.
+     *
+     * @return number of queued packets released.
+     */
+    int abandonPeer(NodeId peer, Cycle now);
+
+    /**
      * Build (but do not queue) an ack for @p dataPkt. When
      * @p allowFreshGrant is false (duplicate re-acks), a bulk
      * request without an existing dialog is rejected rather than

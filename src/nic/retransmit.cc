@@ -1,10 +1,26 @@
 #include "nic/retransmit.hh"
 
+#include <algorithm>
+
 #include "sim/audit.hh"
 #include "sim/log.hh"
 
 namespace nifdy
 {
+
+void
+LossyConfig::validate() const
+{
+    fatal_if(dropProb < 0 || dropProb >= 1.0,
+             "lossy.dropProb must be in [0, 1)");
+    fatal_if(retxTimeout < 1, "lossy.retxTimeout must be >= 1");
+    fatal_if(backoffFactor < 1.0, "lossy.backoffFactor must be >= 1");
+    fatal_if(maxRetxTimeout != 0 && maxRetxTimeout < retxTimeout,
+             "lossy.maxRetxTimeout must be 0 or >= lossy.retxTimeout");
+    fatal_if(jitterFrac < 0 || jitterFrac >= 1.0,
+             "lossy.jitterFrac must be in [0, 1)");
+    fatal_if(maxRetries < 0, "lossy.maxRetries must be >= 0");
+}
 
 LossyNifdyNic::LossyNifdyNic(NodeId node,
                              const Network::NodePorts &ports,
@@ -12,11 +28,10 @@ LossyNifdyNic::LossyNifdyNic(NodeId node,
                              const NifdyConfig &cfg,
                              const LossyConfig &lossy, PacketPool &pool)
     : NifdyNic(node, ports, params, cfg, pool), lossy_(lossy),
-      dropRng_(params.seed, 0xd209 + node)
+      dropRng_(params.seed, 0xd209 + node),
+      backoffRng_(params.seed, 0xb0ff + node)
 {
-    fatal_if(lossy_.dropProb < 0 || lossy_.dropProb >= 1.0,
-             "drop probability must be in [0, 1)");
-    fatal_if(lossy_.retxTimeout < 1, "retransmit timeout must be >= 1");
+    lossy_.validate();
 }
 
 void
@@ -34,25 +49,96 @@ LossyNifdyNic::transitIdle() const
     return NifdyNic::transitIdle();
 }
 
-void
-LossyNifdyNic::checkTimers(Cycle now)
+bool
+LossyNifdyNic::isPeerDead(NodeId peer) const
 {
-    for (auto &kv : scalarRetx_) {
-        if (now >= kv.second.deadline) {
-            retransmit(kv.second, now);
-            kv.second.deadline = now + lossy_.retxTimeout;
-        }
-    }
-    for (auto &kv : bulkRetx_) {
-        if (now >= kv.second.deadline) {
-            retransmit(kv.second, now);
-            kv.second.deadline = now + lossy_.retxTimeout;
-        }
-    }
+    return std::find(deadPeers_.begin(), deadPeers_.end(), peer) !=
+           deadPeers_.end();
+}
+
+Cycle
+LossyNifdyNic::scalarRetxTimeout(NodeId dst) const
+{
+    auto it = scalarRetx_.find(dst);
+    return it == scalarRetx_.end() ? 0 : it->second.timeout;
+}
+
+bool
+LossyNifdyNic::canSend(const Packet &pkt) const
+{
+    // A dead peer accepts anything: send() discards it immediately,
+    // so the processor can keep making progress instead of spinning
+    // on a pool slot that will never clear.
+    if (isPeerDead(pkt.dst))
+        return true;
+    return NifdyNic::canSend(pkt);
 }
 
 void
-LossyNifdyNic::retransmit(const Snapshot &snap, Cycle now)
+LossyNifdyNic::send(Packet *pkt, Cycle now)
+{
+    if (isPeerDead(pkt->dst)) {
+        (void)now;
+        ++sendsToDeadPeers_;
+        audit::onDrop(*pkt, node_, "peer dead: send discarded");
+        pool_.release(pkt);
+        noteActivity();
+        return;
+    }
+    NifdyNic::send(pkt, now);
+}
+
+Cycle
+LossyNifdyNic::jittered(Cycle t)
+{
+    if (lossy_.jitterFrac <= 0)
+        return t;
+    Cycle spread =
+        static_cast<Cycle>(static_cast<double>(t) * lossy_.jitterFrac);
+    if (spread == 0)
+        return t;
+    return t - spread / 2 + backoffRng_.nextBounded(spread + 1);
+}
+
+void
+LossyNifdyNic::rearm(Snapshot &snap, Cycle now)
+{
+    if (lossy_.backoffFactor > 1.0) {
+        double next = static_cast<double>(snap.timeout) *
+                      lossy_.backoffFactor;
+        double cap = static_cast<double>(lossy_.effMaxTimeout());
+        snap.timeout = static_cast<Cycle>(std::min(next, cap));
+    }
+    snap.deadline = now + jittered(snap.timeout);
+}
+
+void
+LossyNifdyNic::checkTimers(Cycle now)
+{
+    // Collect peers that exhausted their retry budget; state is
+    // purged after the scan so the map iteration stays valid.
+    std::vector<NodeId> exhausted;
+    auto expire = [&](Snapshot &s) {
+        if (now < s.deadline)
+            return;
+        if (lossy_.maxRetries > 0 && s.retries >= lossy_.maxRetries) {
+            exhausted.push_back(s.copy.dst);
+            return;
+        }
+        retransmit(s, now);
+        ++s.retries;
+        rearm(s, now);
+    };
+    for (auto &kv : scalarRetx_)
+        expire(kv.second);
+    for (auto &kv : bulkRetx_)
+        expire(kv.second);
+    for (NodeId peer : exhausted)
+        declarePeerDead(peer, now);
+}
+
+void
+LossyNifdyNic::retransmit(Snapshot &snap, Cycle now)
 {
     Packet *p = pool_.alloc();
     std::uint64_t id = p->id;
@@ -61,9 +147,55 @@ LossyNifdyNic::retransmit(const Snapshot &snap, Cycle now)
     p->routeScratch = 0;
     p->ackIssued = false;
     p->injectedAt = 0;
+    // Re-stamp provenance: the clone is created now, carries the
+    // attempt number, and points back at the original transmission.
     p->createdAt = now;
+    p->cloneOf = snap.origId;
+    p->attempt = snap.retries + 1;
+    p->corrupted = false;
     retxQueue_.push_back(p);
     ++retransmissions_;
+    audit::onRetransmit(*p, node_);
+    noteActivity();
+}
+
+void
+LossyNifdyNic::declarePeerDead(NodeId peer, Cycle now)
+{
+    if (isPeerDead(peer))
+        return;
+    deadPeers_.push_back(peer);
+
+    // Drop the expired snapshots themselves (the packets they
+    // describe are already terminal in the audit's eyes: delivered,
+    // dropped in fabric, or still wedged behind a dead link).
+    scalarRetx_.erase(peer);
+    for (auto it = bulkRetx_.begin(); it != bulkRetx_.end();) {
+        if (it->second.copy.dst == peer)
+            it = bulkRetx_.erase(it);
+        else
+            ++it;
+    }
+    // Queued-but-not-injected retransmission clones for the peer.
+    for (auto it = retxQueue_.begin(); it != retxQueue_.end();) {
+        if ((*it)->dst == peer) {
+            audit::onDrop(**it, node_,
+                          "peer dead: retransmission discarded");
+            pool_.release(*it);
+            it = retxQueue_.erase(it);
+            ++abandoned_;
+        } else {
+            ++it;
+        }
+    }
+    // Base-protocol state: OPT entry, bulk dialog, queued sends.
+    abandoned_ +=
+        static_cast<std::uint64_t>(NifdyNic::abandonPeer(peer, now));
+
+    warn("node %d: peer %d declared dead after %d retries "
+         "(cycle %llu); discarding its traffic from here on",
+         node_, peer, lossy_.maxRetries,
+         static_cast<unsigned long long>(now));
     noteActivity();
 }
 
@@ -87,6 +219,18 @@ LossyNifdyNic::nextToInject(NetClass cls, Cycle now)
 void
 LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
+    // CRC-check analogy: a packet corrupted inside the fabric is
+    // discarded here, exactly like a receiver-side loss; the
+    // sender's timer recovers it.
+    if (pkt->corrupted) {
+        ++corruptDropped_;
+        if (pkt->type == PacketType::scalar)
+            consumeReservation(); // canAccept() claimed a slot
+        audit::onDrop(*pkt, node_, "corrupted in fabric (CRC)");
+        pool_.release(pkt);
+        noteActivity();
+        return;
+    }
     if (lossy_.dropProb > 0 && dropRng_.chance(lossy_.dropProb)) {
         ++packetsDropped_;
         if (pkt->type == PacketType::scalar)
@@ -108,7 +252,11 @@ LossyNifdyNic::onDataInjected(Packet *pkt, Cycle now)
         pkt->dupBit = false;
         Snapshot &s = bulkRetx_[bulkSentTotal() - 1];
         s.copy = *pkt;
-        s.deadline = now + lossy_.retxTimeout;
+        s.deadline = now + jittered(lossy_.retxTimeout);
+        s.timeout = lossy_.retxTimeout;
+        s.firstSent = now;
+        s.origId = pkt->id;
+        s.retries = 0;
         return;
     }
     // Fresh scalar packet: bump the per-destination sequence (the
@@ -119,22 +267,33 @@ LossyNifdyNic::onDataInjected(Packet *pkt, Cycle now)
     pkt->dupBit = idx & 1;
     Snapshot &s = scalarRetx_[pkt->dst];
     s.copy = *pkt;
-    s.deadline = now + lossy_.retxTimeout;
+    s.deadline = now + jittered(lossy_.retxTimeout);
+    s.timeout = lossy_.retxTimeout;
+    s.firstSent = now;
+    s.origId = pkt->id;
+    s.retries = 0;
 }
 
 void
 LossyNifdyNic::onAckProcessed(const Packet &ack, Cycle now)
 {
-    (void)now;
     bool isBulkAck = ack.ackDialog >= 0 && ack.ackSeq >= 0;
     if (!isBulkAck) {
-        scalarRetx_.erase(ack.src);
+        auto it = scalarRetx_.find(ack.src);
+        if (it != scalarRetx_.end()) {
+            if (it->second.retries > 0)
+                recoveryLatency_.sample(now - it->second.firstSent);
+            scalarRetx_.erase(it);
+        }
         return;
     }
     // Cumulative bulk ack: clear every snapshot it covers (keys are
     // the monotone send indices).
-    bulkRetx_.erase(bulkRetx_.begin(),
-                    bulkRetx_.lower_bound(ack.ackTotal));
+    auto end = bulkRetx_.lower_bound(ack.ackTotal);
+    for (auto it = bulkRetx_.begin(); it != end; ++it)
+        if (it->second.retries > 0)
+            recoveryLatency_.sample(now - it->second.firstSent);
+    bulkRetx_.erase(bulkRetx_.begin(), end);
 }
 
 bool

@@ -81,6 +81,30 @@ InvariantChecker::onDrop(const Packet &pkt, NodeId node,
 }
 
 void
+InvariantChecker::onFabricDrop(const Packet &pkt, int routerId,
+                               const char *why)
+{
+    (void)routerId;
+    // An injected fabric loss is a terminal lifecycle event, same as
+    // a NIC-side drop.
+    onDrop(pkt, invalidNode, why);
+}
+
+void
+InvariantChecker::onCorrupt(const Packet &pkt, int routerId)
+{
+    (void)pkt;
+    (void)routerId;
+}
+
+void
+InvariantChecker::onRetransmit(const Packet &pkt, NodeId node)
+{
+    (void)pkt;
+    (void)node;
+}
+
+void
 InvariantChecker::onRelease(const Packet &pkt)
 {
     (void)pkt;
@@ -416,6 +440,38 @@ class DeliveryOrderChecker : public InvariantChecker
     std::unordered_map<std::uint64_t, std::uint64_t> lastDelivered_;
 };
 
+/**
+ * Fault discipline: in-fabric drops and corruptions may only happen
+ * when a fault plan is active (Audit::setExpectFaults). On a
+ * lossless fabric any such event is a simulator bug, not a protocol
+ * condition, and is reported immediately with provenance.
+ */
+class FaultDisciplineChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "fault-discipline"; }
+
+    void
+    onFabricDrop(const Packet &pkt, int routerId,
+                 const char *why) override
+    {
+        if (!audit()->expectFaults())
+            fail(pkt, "packet dropped inside the fabric at router " +
+                          std::to_string(routerId) + " (" + why +
+                          ") with no fault plan active");
+        InvariantChecker::onFabricDrop(pkt, routerId, why);
+    }
+
+    void
+    onCorrupt(const Packet &pkt, int routerId) override
+    {
+        if (!audit()->expectFaults())
+            fail(pkt, "packet corrupted at router " +
+                          std::to_string(routerId) +
+                          " with no fault plan active");
+    }
+};
+
 std::vector<Audit *> &
 auditStack()
 {
@@ -498,6 +554,7 @@ Audit::installStandardCheckers(bool expectInOrder)
     add(std::make_unique<PacketLifecycleChecker>());
     add(std::make_unique<OptDisciplineChecker>());
     add(std::make_unique<CapacityChecker>());
+    add(std::make_unique<FaultDisciplineChecker>());
     if (expectInOrder)
         add(std::make_unique<DeliveryOrderChecker>());
 }
@@ -587,6 +644,36 @@ Audit::drop(const Packet &pkt, NodeId node, const char *why)
     record(pkt, "drop at nic" + std::to_string(node) + " (" + why + ")");
     for (auto &c : checkers_)
         c->onDrop(pkt, node, why);
+}
+
+void
+Audit::fabricDrop(const Packet &pkt, int routerId, const char *why)
+{
+    record(pkt, "fabric-drop at router" + std::to_string(routerId) +
+                    " (" + why + ")");
+    ++fabricDrops_;
+    for (auto &c : checkers_)
+        c->onFabricDrop(pkt, routerId, why);
+}
+
+void
+Audit::corrupt(const Packet &pkt, int routerId)
+{
+    record(pkt, "corrupt at router" + std::to_string(routerId));
+    ++corruptions_;
+    for (auto &c : checkers_)
+        c->onCorrupt(pkt, routerId);
+}
+
+void
+Audit::retransmit(const Packet &pkt, NodeId node)
+{
+    record(pkt, "retransmit #" + std::to_string(pkt.attempt) +
+                    " of pkt#" + std::to_string(pkt.cloneOf) +
+                    " at nic" + std::to_string(node));
+    ++retransmits_;
+    for (auto &c : checkers_)
+        c->onRetransmit(pkt, node);
 }
 
 void

@@ -78,6 +78,19 @@ class InvariantChecker
                            const char *why);
     virtual void onDrop(const Packet &pkt, NodeId node,
                         const char *why);
+    /**
+     * A fault injector swallowed the packet inside the fabric.
+     * Default: forwards to onDrop() with node = invalidNode, so
+     * lifecycle conservation treats the injected loss as a
+     * legitimately terminal event.
+     */
+    virtual void onFabricDrop(const Packet &pkt, int routerId,
+                              const char *why);
+    /** A fault injector corrupted the packet at @p routerId. */
+    virtual void onCorrupt(const Packet &pkt, int routerId);
+    /** A NIC retransmitted: @p pkt is the clone (cloneOf/attempt
+     * carry its provenance). */
+    virtual void onRetransmit(const Packet &pkt, NodeId node);
     virtual void onRelease(const Packet &pkt);
     //! @}
 
@@ -158,7 +171,26 @@ class Audit
     void deliver(const Packet &pkt, NodeId node);
     void consume(const Packet &pkt, NodeId node, const char *why);
     void drop(const Packet &pkt, NodeId node, const char *why);
+    void fabricDrop(const Packet &pkt, int routerId, const char *why);
+    void corrupt(const Packet &pkt, int routerId);
+    void retransmit(const Packet &pkt, NodeId node);
     void release(const Packet &pkt);
+    //! @}
+
+    /**
+     * Declare that fault injection is active this run. While false
+     * (the default) the fault-discipline checker treats any in-fabric
+     * drop or corruption as a simulator bug -- a lossless fabric must
+     * not lose packets.
+     */
+    void setExpectFaults(bool expect) { expectFaults_ = expect; }
+    bool expectFaults() const { return expectFaults_; }
+
+    //! @name Fault-aware accounting
+    //! @{
+    std::uint64_t fabricDrops() const { return fabricDrops_; }
+    std::uint64_t corruptions() const { return corruptions_; }
+    std::uint64_t retransmits() const { return retransmits_; }
     //! @}
 
     /** Run every checker's polled check; the Kernel calls this after
@@ -185,6 +217,10 @@ class Audit
     struct Trail;
     std::unique_ptr<Trail> trails_;
     std::uint64_t eventsSeen_ = 0;
+    bool expectFaults_ = false;
+    std::uint64_t fabricDrops_ = 0;
+    std::uint64_t corruptions_ = 0;
+    std::uint64_t retransmits_ = 0;
 };
 
 /**
@@ -267,6 +303,34 @@ onDrop(const Packet &pkt, NodeId node, const char *why)
     (void)pkt;
     (void)node;
     (void)why;
+}
+
+inline void
+onFabricDrop(const Packet &pkt, int routerId, const char *why)
+{
+    if (Audit *a = sink())
+        a->fabricDrop(pkt, routerId, why);
+    (void)pkt;
+    (void)routerId;
+    (void)why;
+}
+
+inline void
+onCorrupt(const Packet &pkt, int routerId)
+{
+    if (Audit *a = sink())
+        a->corrupt(pkt, routerId);
+    (void)pkt;
+    (void)routerId;
+}
+
+inline void
+onRetransmit(const Packet &pkt, NodeId node)
+{
+    if (Audit *a = sink())
+        a->retransmit(pkt, node);
+    (void)pkt;
+    (void)node;
 }
 
 inline void

@@ -18,6 +18,7 @@
 #include "nic/nifdy.hh"
 #include "nic/retransmit.hh"
 #include "sim/audit.hh"
+#include "sim/fault.hh"
 
 namespace nifdy
 {
@@ -73,7 +74,32 @@ class NifdyHarness
             ensureAudit();
     }
 
+    /** Lossy variant with the full LossyConfig (backoff tests). */
+    NifdyHarness(const NifdyConfig &cfg, const LossyConfig &lc,
+                 int nodes = 4, const std::string &topology = "mesh2d")
+        : NifdyHarness(
+              cfg, nodes, topology, -1.0, 3000,
+              [lc](NodeId n, const Network::NodePorts &ports,
+                   const NicParams &nicp, const NifdyConfig &c,
+                   PacketPool &pl) -> std::unique_ptr<NifdyNic> {
+                  return std::make_unique<LossyNifdyNic>(
+                      n, ports, nicp, c, lc, pl);
+              })
+    {
+    }
+
     ~NifdyHarness() { releaseReceived(); }
+
+    /** Attach an in-fabric fault injector (call before running). */
+    FaultInjector &
+    attachFaults(const FaultPlan &plan, std::uint64_t seed = 1)
+    {
+        faults = std::make_unique<FaultInjector>(plan, seed, pool);
+        faults->attachNetwork(*net);
+        if (audit)
+            audit->setExpectFaults(true);
+        return *faults;
+    }
 
     /**
      * Attach the invariant-audit layer (idempotent). The mesh is
@@ -87,6 +113,8 @@ class NifdyHarness
             return *audit;
         audit = std::make_unique<Audit>();
         audit->installStandardCheckers(true);
+        if (faults)
+            audit->setExpectFaults(true);
         for (const auto &n : nics)
             audit->watchNic(n.get());
         for (int r = 0; r < net->numRouters(); ++r)
@@ -177,6 +205,8 @@ class NifdyHarness
      * were delivered, so their release is legal). */
     std::unique_ptr<Audit> audit;
     std::unique_ptr<Network> net;
+    /** After net: routers keep a raw pointer to the injector. */
+    std::unique_ptr<FaultInjector> faults;
     std::vector<std::unique_ptr<NifdyNic>> nics;
     std::vector<std::vector<Packet *>> received;
     std::vector<std::deque<Packet *>> pendingSends;

@@ -23,6 +23,12 @@ Checks enforced (see DESIGN.md, "Static analysis"):
                           Topology, Experiment, the test harnesses).
                           Abstract classes (declaring a pure virtual)
                           are exempt.
+  5. knob-documented   -- every fault.* / lossy.* config key read
+                          anywhere in src/ (getString/getInt/
+                          getDouble/getBool) must be listed in the
+                          CLI help text in src/harness/experiment.cc,
+                          so no fault-injection knob is ever
+                          undiscoverable from the command line.
 
 Exit status 0 when clean, 1 when any violation is found.
 """
@@ -171,6 +177,30 @@ def parse_classes(files):
     return classes
 
 
+CLI_HELP_FILE = SRC / "harness" / "experiment.cc"
+KNOB_RE = re.compile(
+    r'get(?:String|Int|Double|Bool)\s*\(\s*"'
+    r'((?:fault|lossy)\.[A-Za-z0-9_.]+)"')
+
+
+def check_knob_documented():
+    """Raw-text scan (the knob names live inside string literals,
+    which load() blanks out)."""
+    violations = []
+    help_text = CLI_HELP_FILE.read_text()
+    for path in cpp_files(SRC):
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in KNOB_RE.finditer(line):
+                knob = m.group(1)
+                if knob not in help_text:
+                    violations.append(
+                        (path, lineno, "knob-documented",
+                         f"config key {knob} is missing from the CLI "
+                         "help in src/harness/experiment.cc"))
+    return violations
+
+
 def check_steppable_registration(src_files, test_files):
     all_files = {**src_files, **test_files}
     classes = parse_classes(all_files)
@@ -264,6 +294,7 @@ def main():
     violations += check_rand(all_files)
     violations += check_stdio(src_files)
     violations += check_steppable_registration(src_files, test_files)
+    violations += check_knob_documented()
 
     if violations:
         report(sorted(violations, key=lambda v: (str(v[0]), v[1])))
