@@ -97,7 +97,7 @@ main(int argc, char **argv)
                    Table::num(static_cast<long>(arr)),
                    Table::num(double(acc) / double(arr), 2)});
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
 
     // (b) Window sweep on the store-and-forward fat tree, where the
@@ -119,7 +119,7 @@ main(int argc, char **argv)
                    Table::num(static_cast<long>(v)),
                    Table::num(double(v) / double(base), 2)});
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
 
     // (c) Combined vs per-packet bulk acks.
@@ -144,7 +144,7 @@ main(int argc, char **argv)
         t.row({"per packet", Table::num(static_cast<long>(d2)),
                Table::num(static_cast<long>(a2)),
                Table::num(double(a2) / double(d2), 2)});
-        printTable(t, args.csv);
+        args.emit(t);
     }
 
     // (d) Piggybacked acks under RPC traffic: node 2k fires
@@ -241,7 +241,7 @@ main(int argc, char **argv)
                Table::num(static_cast<long>(merged)),
                Table::num(static_cast<long>(acks)),
                Table::num(static_cast<long>(piggy))});
-        printTable(t, args.csv);
+        args.emit(t);
     }
-    return 0;
+    return args.finish();
 }

@@ -48,11 +48,11 @@ main(int argc, char **argv)
                    Table::num(static_cast<long>(ad)),
                    Table::num(double(ad) / double(dor), 2)});
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
-    std::puts("expected shape: adaptivity pays off best when NIFDY"
+    args.note("expected shape: adaptivity pays off best when NIFDY"
               " restores order for free\nand throttles the senders"
               " that would otherwise saturate every alternative"
               " path.");
-    return 0;
+    return args.finish();
 }

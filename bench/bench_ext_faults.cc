@@ -95,9 +95,9 @@ main(int argc, char **argv)
                           : "-",
                Table::num(static_cast<long>(exp.totalDeadPeers()))});
     }
-    printTable(t, args.csv);
-    std::puts("in-fabric losses are recovered end to end; backoff "
+    args.emit(t);
+    args.note("in-fabric losses are recovered end to end; backoff "
               "keeps the recovery traffic from compounding the "
               "fault rate.");
-    return 0;
+    return args.finish();
 }

@@ -66,8 +66,8 @@ main(int argc, char **argv)
                Table::num(static_cast<long>(dropped)),
                Table::num(static_cast<long>(dups))});
     }
-    printTable(t, args.csv);
-    std::puts("per Section 6.2 / [KC94]: masking drops in the NI"
+    args.emit(t);
+    args.note("per Section 6.2 / [KC94]: masking drops in the NI"
               " avoids the 30-50% software cost of handling them.");
-    return 0;
+    return args.finish();
 }

@@ -76,7 +76,7 @@ main(int argc, char **argv)
                    Table::num(static_cast<long>(nif)),
                    Table::num(double(nif) / double(none), 2)});
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
     {
         Table t("Stress B: degraded fabric links (quarter bandwidth)"
@@ -93,7 +93,7 @@ main(int argc, char **argv)
                    Table::num(static_cast<long>(nif)),
                    Table::num(double(nif) / double(none), 2)});
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
-    return 0;
+    return args.finish();
 }

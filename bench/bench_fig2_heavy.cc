@@ -32,21 +32,21 @@ main(int argc, char **argv)
     for (const std::string &topo : paperTopologies()) {
         std::uint64_t none = syntheticThroughput(
             topo, NicKind::none, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         std::uint64_t buffers = syntheticThroughput(
             topo, NicKind::buffers, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         std::uint64_t nifdy = syntheticThroughput(
             topo, NicKind::nifdy, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         t.row({topo, Table::num(static_cast<long>(none)),
                Table::num(static_cast<long>(buffers)),
                Table::num(static_cast<long>(nifdy)),
                Table::num(double(nifdy) / double(none), 2),
                Table::num(double(nifdy) / double(buffers), 2)});
     }
-    printTable(t, args.csv);
-    std::puts("note: counts are data packets handed to processors;"
+    args.emit(t);
+    args.note("note: counts are data packets handed to processors;"
               " in-order payload gains are shown by bench_fig6/7/8.");
-    return 0;
+    return args.finish();
 }

@@ -30,19 +30,19 @@ main(int argc, char **argv)
     for (const std::string &topo : paperTopologies()) {
         std::uint64_t none = syntheticThroughput(
             topo, NicKind::none, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         std::uint64_t buffers = syntheticThroughput(
             topo, NicKind::buffers, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         std::uint64_t nifdy = syntheticThroughput(
             topo, NicKind::nifdy, sp, args.cycles, args.nodes,
-            args.seed);
+            args.seed, &args.conf);
         t.row({topo, Table::num(static_cast<long>(none)),
                Table::num(static_cast<long>(buffers)),
                Table::num(static_cast<long>(nifdy)),
                Table::num(double(nifdy) / double(none), 2),
                Table::num(double(nifdy) / double(buffers), 2)});
     }
-    printTable(t, args.csv);
-    return 0;
+    args.emit(t);
+    return args.finish();
 }

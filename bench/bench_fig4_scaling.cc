@@ -85,7 +85,7 @@ main(int argc, char **argv)
             }
             t.row(row);
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
     {
         Table t("Figure 4b: normalized throughput vs machine size, "
@@ -103,9 +103,9 @@ main(int argc, char **argv)
             }
             t.row(row);
         }
-        printTable(t, args.csv);
+        args.emit(t);
     }
-    std::puts("values are packets delivered relative to the same\n"
+    args.note("values are packets delivered relative to the same\n"
               "machine with the plain interface (1.0 = no benefit).");
-    return 0;
+    return args.finish();
 }

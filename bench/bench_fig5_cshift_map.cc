@@ -10,6 +10,10 @@
  * with NIFDY the perturbations dissipate and the pattern finishes
  * earlier.
  *
+ * The pending-packet map is recorded as a TimeSeries registered in a
+ * StatSet; the ASCII rendering and the `--json` report are both
+ * derived from that one series.
+ *
  * The paper uses a 32-node CM-5 network; our generalized fat tree
  * is built in powers of four, so the default here is the 64-node
  * CM-5-style network (see EXPERIMENTS.md).
@@ -18,6 +22,7 @@
  */
 
 #include "benchutil.hh"
+#include "sim/stats.hh"
 #include "traffic/cshift.hh"
 
 using namespace nifdy;
@@ -27,14 +32,14 @@ namespace
 
 struct MapResult
 {
-    std::vector<std::string> rows;
+    TimeSeries series{"cshift.pending.map", 0, 0};
     Cycle completion = 0;
     int worst = 0;
 };
 
 MapResult
-runMap(NicKind kind, int nodes, int words, Cycle interval,
-       std::uint64_t seed)
+runMap(NicKind kind, const std::string &seriesName, int nodes,
+       int words, Cycle interval, std::uint64_t seed)
 {
     ExperimentConfig cfg;
     cfg.topology = "cm5";
@@ -53,34 +58,41 @@ runMap(NicKind kind, int nodes, int words, Cycle interval,
                                nodes, cp, board, seed));
     }
     MapResult res;
-    const char shades[] = " .:-=+*#%@";
+    StatSet stats;
+    TimeSeries &ts = stats.timeSeries(seriesName, nodes, interval);
     Cycle budget = 30000000;
     while (budget > 0 && !exp.allDone()) {
         exp.runFor(interval);
         budget -= interval;
-        std::string row;
-        row.reserve(nodes);
+        std::vector<std::uint32_t> row;
+        row.reserve(static_cast<std::size_t>(nodes));
         for (NodeId r = 0; r < nodes; ++r) {
             int pend = board.pendingFor(r);
             res.worst = std::max(res.worst, pend);
-            int shade = std::min(9, pend * 9 / 20);
-            row.push_back(shades[shade]);
+            row.push_back(static_cast<std::uint32_t>(pend));
         }
-        res.rows.push_back(row);
+        ts.record(exp.kernel().now(), std::move(row));
     }
     res.completion = exp.kernel().now();
+    res.series = ts;
     return res;
 }
 
 void
-print(const char *title, const MapResult &r, Cycle interval)
+printMap(const char *title, const MapResult &r, Cycle interval)
 {
+    const char shades[] = " .:-=+*#%@";
     std::printf("== %s ==\n", title);
     std::printf("rows: time (one per %lu cycles), cols: receiver;"
                 " ' '=0 pending, '@'=20+\n",
                 static_cast<unsigned long>(interval));
-    for (const auto &row : r.rows)
-        std::printf("|%s|\n", row.c_str());
+    for (std::size_t i = 0; i < r.series.rows(); ++i) {
+        std::string line;
+        for (std::uint32_t pend : r.series.row(i))
+            line.push_back(
+                shades[std::min(9u, pend * 9u / 20u)]);
+        std::printf("|%s|\n", line.c_str());
+    }
     std::printf("completion: %lu cycles, worst backlog: %d packets\n\n",
                 static_cast<unsigned long>(r.completion), r.worst);
 }
@@ -95,20 +107,29 @@ main(int argc, char **argv)
     int words = static_cast<int>(args.conf.getInt("words", 120));
     Cycle interval = args.conf.getInt("interval", 10000);
 
-    MapResult none =
-        runMap(NicKind::none, args.nodes, words, interval, args.seed);
-    MapResult nifdy =
-        runMap(NicKind::nifdy, args.nodes, words, interval, args.seed);
+    MapResult none = runMap(NicKind::none, "cshift.pending.none",
+                            args.nodes, words, interval, args.seed);
+    MapResult nifdy = runMap(NicKind::nifdy, "cshift.pending.nifdy",
+                             args.nodes, words, interval, args.seed);
 
-    print("Figure 5a: C-shift pending packets per receiver, no NIFDY,"
-          " no barriers",
-          none, interval);
-    print("Figure 5b: same pattern with NIFDY (one dialog,"
-          " no barriers)",
-          nifdy, interval);
+    printMap("Figure 5a: C-shift pending packets per receiver, no "
+             "NIFDY, no barriers",
+             none, interval);
+    printMap("Figure 5b: same pattern with NIFDY (one dialog,"
+             " no barriers)",
+             nifdy, interval);
 
+    Table t("Figure 5 summary: C-shift completion without barriers");
+    t.header({"nic", "completion cycles", "worst backlog"});
+    t.row({"none", Table::num(static_cast<long>(none.completion)),
+           Table::num(static_cast<long>(none.worst))});
+    t.row({"nifdy", Table::num(static_cast<long>(nifdy.completion)),
+           Table::num(static_cast<long>(nifdy.worst))});
+    args.emit(t);
     std::printf("speedup from NIFDY: %.2fx; worst backlog %d -> %d\n",
                 double(none.completion) / double(nifdy.completion),
                 none.worst, nifdy.worst);
-    return 0;
+    args.report.addSeries(none.series);
+    args.report.addSeries(nifdy.series);
+    return args.finish();
 }

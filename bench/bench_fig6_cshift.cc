@@ -105,6 +105,6 @@ main(int argc, char **argv)
                    "x)",
                Table::num(static_cast<long>(res.packets))});
     }
-    printTable(t, args.csv);
-    return 0;
+    args.emit(t);
+    return args.finish();
 }

@@ -81,11 +81,11 @@ runEm3dFigure(int argc, char **argv, const Em3dParams &params,
                           : Table::num(minus, 0),
                Table::num(full, 0), Table::num(none / full, 2)});
     }
-    printTable(t, args.csv);
-    std::puts("cycles per iteration (lower is better); '*' = the\n"
+    args.emit(t);
+    args.note("cycles per iteration (lower is better); '*' = the\n"
               "network delivers in order itself, so the in-order\n"
               "library is used for every column (paper Section 4.4).");
-    return 0;
+    return args.finish();
 }
 
 #ifndef NIFDY_EM3D_NO_MAIN

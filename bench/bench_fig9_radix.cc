@@ -113,7 +113,7 @@ main(int argc, char **argv)
                fmtCycles(runScan(topo, NicKind::nifdy, args.nodes,
                                  buckets, delay, args.seed))});
     }
-    printTable(t, args.csv);
+    args.emit(t);
 
     Table c("Section 4.5: radix-sort coalesce phase cycles (" +
             std::to_string(keys) + " keys per processor)");
@@ -126,8 +126,8 @@ main(int argc, char **argv)
         c.row({topo, fmtCycles(none), fmtCycles(nif),
                none && nif ? Table::num(double(nif) / none, 2) : "-"});
     }
-    printTable(c, args.csv);
-    std::puts("coalesce is expected to be nearly identical with and"
+    args.emit(c);
+    args.note("coalesce is expected to be nearly identical with and"
               " without NIFDY.");
-    return 0;
+    return args.finish();
 }

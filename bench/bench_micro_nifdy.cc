@@ -10,6 +10,7 @@
 
 #include "harness/experiment.hh"
 #include "sim/log.hh"
+#include "sim/report.hh"
 #include "traffic/synthetic.hh"
 
 using namespace nifdy;
@@ -133,6 +134,53 @@ BM_NifdySendPath(benchmark::State &state)
 }
 BENCHMARK(BM_NifdySendPath);
 
+/**
+ * Console reporter that additionally captures per-benchmark
+ * nanoseconds/iteration so `--json` can emit them as a RunReport.
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &r : report)
+            if (!r.error_occurred)
+                runs.emplace_back(r.benchmark_name(),
+                                  r.GetAdjustedRealTime());
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    std::vector<std::pair<std::string, double>> runs;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off `--json PATH` before google-benchmark sees the args.
+    std::string jsonPath;
+    std::vector<char *> rest;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    int restArgc = static_cast<int>(rest.size());
+    benchmark::Initialize(&restArgc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data()))
+        return 1;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!jsonPath.empty()) {
+        RunReport rep("bench_micro_nifdy");
+        for (const auto &run : reporter.runs)
+            rep.addMetric("micro.ns." + run.first, run.second);
+        rep.writeJson(jsonPath);
+    }
+    return 0;
+}

@@ -135,11 +135,11 @@ main(int argc, char **argv)
                Table::num(static_cast<long>(best.dialogs)),
                Table::num(static_cast<long>(best.window))});
     }
-    printTable(t, args.csv);
-    std::puts("T_lat fitted on an unloaded network (32-byte packets);"
+    args.emit(t);
+    args.note("T_lat fitted on an unloaded network (32-byte packets);"
               "\nW_analytic is Equation 3's window for full pairwise"
               " bandwidth at d_max;\nO/B/D/W are the tuned parameters"
               " used by the other benches.\nPaper constants: T_send=40"
               " T_receive=60 T_ackproc=4 (Table 2 / Section 2.4.3).");
-    return 0;
+    return args.finish();
 }

@@ -4,10 +4,15 @@
  * parsing, standard experiment assembly, and result collection.
  *
  * Every bench accepts "key=value" arguments; the most useful are
- *   cycles=N   measurement window (default per bench)
- *   nodes=N    machine size (default 64)
- *   seed=N     RNG seed (default 1)
- *   csv=true   additionally emit CSV rows
+ *   cycles=N       measurement window (default per bench)
+ *   nodes=N        machine size (default 64)
+ *   seed=N         RNG seed (default 1)
+ *   csv=true       additionally emit CSV rows
+ *   --json PATH    also write the run report as JSON (or json=PATH)
+ *
+ * Results flow through one RunReport: emit() prints a table to
+ * stdout AND records it, so the text output and the `--json` report
+ * are always the same data (see DESIGN.md section 8).
  */
 
 #ifndef NIFDY_BENCH_BENCHUTIL_HH
@@ -20,13 +25,14 @@
 #include "harness/experiment.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/report.hh"
 #include "sim/table.hh"
 #include "traffic/synthetic.hh"
 
 namespace nifdy
 {
 
-/** Common bench options parsed from argv. */
+/** Common bench options parsed from argv, plus the run report. */
 struct BenchArgs
 {
     Config conf;
@@ -34,14 +40,67 @@ struct BenchArgs
     int nodes;
     std::uint64_t seed;
     bool csv;
+    std::string jsonPath;
+    RunReport report;
 
     BenchArgs(int argc, char **argv, Cycle defCycles, int defNodes = 64)
+        : report(toolName(argc, argv))
     {
         conf.parseArgs(argc, argv);
+        // `--json PATH` is sugar for json=PATH (leftover tokens are
+        // otherwise ignored by the key=value parser).
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::string(argv[i]) == "--json")
+                conf.set("json", std::string(argv[i + 1]));
         cycles = conf.getInt("cycles", static_cast<long>(defCycles));
         nodes = static_cast<int>(conf.getInt("nodes", defNodes));
         seed = conf.getInt("seed", 1);
         csv = conf.getBool("csv", false);
+        jsonPath = conf.getString("json", "");
+    }
+
+    /** Print @p t (and CSV when asked) and record it in the report. */
+    void emit(const Table &t)
+    {
+        t.print();
+        if (csv)
+            printRaw(t.csv());
+        report.addTable(t);
+    }
+
+    /** Print a note and record it in the report. */
+    void note(const std::string &text)
+    {
+        printRaw(text + "\n");
+        report.addNote(text);
+    }
+
+    /**
+     * Final step of every bench main(): echo the effective common
+     * knobs into the report and write the JSON document when
+     * `--json`/json= was given. Returns the process exit code.
+     */
+    int finish()
+    {
+        report.echoConfig(conf);
+        report.echoConfig("cycles",
+                          std::to_string(static_cast<long long>(cycles)));
+        report.echoConfig("nodes", std::to_string(nodes));
+        report.echoConfig("seed",
+                          std::to_string(static_cast<long long>(seed)));
+        if (!jsonPath.empty())
+            report.writeJson(jsonPath);
+        return 0;
+    }
+
+    static std::string toolName(int argc, char **argv)
+    {
+        if (argc < 1 || !argv[0] || !*argv[0])
+            return "bench";
+        std::string path(argv[0]);
+        std::size_t slash = path.find_last_of('/');
+        return slash == std::string::npos ? path
+                                          : path.substr(slash + 1);
     }
 };
 
@@ -59,12 +118,38 @@ parseNicKind(const std::string &name)
     fatal("unknown NIC kind '%s'", name.c_str());
 }
 
+/**
+ * Copy the telemetry knobs (trace.*, metrics.*) from the bench's
+ * key=value arguments into an experiment config. Benches that build
+ * many experiments get one trace/metrics file per experiment; the
+ * sinks uniquify the path with a .2/.3 suffix.
+ */
+inline void
+applyTelemetry(ExperimentConfig &cfg, const Config &conf)
+{
+    cfg.trace.path = conf.getString("trace.path", cfg.trace.path);
+    cfg.trace.sampleRate =
+        conf.getDouble("trace.sampleRate", cfg.trace.sampleRate);
+    cfg.trace.maxEvents = static_cast<std::size_t>(conf.getInt(
+        "trace.maxEvents", static_cast<long>(cfg.trace.maxEvents)));
+    cfg.trace.seed = static_cast<std::uint64_t>(conf.getInt(
+        "trace.seed", static_cast<long>(cfg.trace.seed)));
+    cfg.trace.validate();
+    cfg.metrics.path =
+        conf.getString("metrics.path", cfg.metrics.path);
+    cfg.metrics.interval = static_cast<Cycle>(conf.getInt(
+        "metrics.interval",
+        static_cast<long>(cfg.metrics.interval)));
+    cfg.metrics.validate();
+}
+
 /** Assemble an experiment with synthetic traffic on every node. */
 inline std::unique_ptr<Experiment>
 makeSyntheticExperiment(const std::string &topology, NicKind kind,
                         int nodes, const SyntheticParams &sp,
                         std::uint64_t seed,
-                        bool exploitInOrder = true)
+                        bool exploitInOrder = true,
+                        const Config *telemetry = nullptr)
 {
     ExperimentConfig cfg;
     cfg.topology = topology;
@@ -73,6 +158,8 @@ makeSyntheticExperiment(const std::string &topology, NicKind kind,
     cfg.seed = seed;
     cfg.exploitInOrder = exploitInOrder;
     cfg.msg.packetWords = 8; // the synthetic benchmark's packet size
+    if (telemetry)
+        applyTelemetry(cfg, *telemetry);
     auto exp = std::make_unique<Experiment>(cfg);
     for (NodeId n = 0; n < exp->numNodes(); ++n)
         exp->setWorkload(n, std::make_unique<SyntheticWorkload>(
@@ -86,19 +173,13 @@ makeSyntheticExperiment(const std::string &topology, NicKind kind,
 inline std::uint64_t
 syntheticThroughput(const std::string &topology, NicKind kind,
                     const SyntheticParams &sp, Cycle cycles, int nodes,
-                    std::uint64_t seed)
+                    std::uint64_t seed,
+                    const Config *telemetry = nullptr)
 {
-    auto exp = makeSyntheticExperiment(topology, kind, nodes, sp, seed);
+    auto exp = makeSyntheticExperiment(topology, kind, nodes, sp,
+                                       seed, true, telemetry);
     exp->runFor(cycles);
     return exp->packetsDelivered();
-}
-
-inline void
-printTable(const Table &t, bool csv)
-{
-    t.print();
-    if (csv)
-        std::fputs(t.csv().c_str(), stdout);
 }
 
 } // namespace nifdy

@@ -5,6 +5,7 @@
 #include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/report.hh"
 
 namespace nifdy
 {
@@ -206,9 +207,170 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         audit_->setExpectFaults(injector_ != nullptr);
         kernel_.setAudit(audit_.get());
     }
+
+    if (!cfg_.trace.path.empty()) {
+        if (!trace::compiledIn())
+            warn("trace.path set but the trace hooks are compiled "
+                 "out (-DNIFDY_TRACE=OFF): no events will be "
+                 "recorded");
+        TraceConfig tc = cfg_.trace;
+        if (tc.seed == 0)
+            tc.seed = cfg_.seed;
+        tracer_ = std::make_unique<Tracer>(tc);
+    }
+
+    if (!cfg_.metrics.path.empty()) {
+        metrics_ = std::make_unique<Metrics>();
+        wireMetrics();
+        metrics_->startSnapshots(cfg_.metrics);
+        kernel_.setMetrics(metrics_.get());
+    }
 }
 
-Experiment::~Experiment() = default;
+Experiment::~Experiment()
+{
+    if (metrics_)
+        metrics_->finish(kernel_.now());
+    if (tracer_)
+        tracer_->close();
+}
+
+void
+Experiment::wireMetrics()
+{
+    Metrics &m = *metrics_;
+
+    // Aggregate progress counters, sampled at snapshot instants so
+    // the JSONL rows show cumulative throughput over time.
+    m.addGauge("nic.packets.sent", -1,
+               [this](Cycle) { return double(packetsSent()); });
+    m.addGauge("nic.packets.delivered", -1,
+               [this](Cycle) { return double(packetsDelivered()); });
+    m.addGauge("nic.arrivals.pending", -1, [this](Cycle) {
+        std::uint64_t n = 0;
+        for (const auto &nic : nics_)
+            n += static_cast<std::uint64_t>(nic->arrivalsPending());
+        return double(n);
+    });
+    m.addGauge("run.goodput", -1, [this](Cycle now) {
+        return now > 0 ? wordsDelivered() * double(bytesPerWord) /
+                             double(now)
+                       : 0.0;
+    });
+    m.addGauge("proc.busy.fraction", -1, [this](Cycle now) {
+        if (now == 0)
+            return 0.0;
+        std::uint64_t busy = 0;
+        for (const auto &p : procs_)
+            busy += p->cyclesBusy();
+        return double(busy) / (double(now) * numNodes());
+    });
+
+    // Per-channel utilization: fraction of the interval since the
+    // previous snapshot the serializer was busy (delta-based, so a
+    // row shows the interval's load, not the lifetime average).
+    for (int c = 0; c < net_->numChannels(); ++c) {
+        Channel *ch = &net_->channelAt(c);
+        auto last =
+            std::make_shared<std::pair<Cycle, std::uint64_t>>(0, 0);
+        m.addGauge("channel.util", c, [ch, last](Cycle now) {
+            std::uint64_t flits = ch->totalFlits();
+            double util = 0.0;
+            if (now > last->first) {
+                double flitCycles = double(flits - last->second) *
+                                    ch->params().cyclesPerFlit;
+                util = flitCycles / double(now - last->first);
+            }
+            *last = {now, flits};
+            return util;
+        });
+    }
+    m.addGauge("channel.flits.request", -1, [this](Cycle) {
+        std::uint64_t n = 0;
+        for (int c = 0; c < net_->numChannels(); ++c)
+            n += net_->channelAt(c).classFlits(NetClass::request);
+        return double(n);
+    });
+    m.addGauge("channel.flits.reply", -1, [this](Cycle) {
+        std::uint64_t n = 0;
+        for (int c = 0; c < net_->numChannels(); ++c)
+            n += net_->channelAt(c).classFlits(NetClass::reply);
+        return double(n);
+    });
+
+    for (int r = 0; r < net_->numRouters(); ++r) {
+        Router *router = &net_->router(r);
+        m.addGauge("router.buffer.occupancy", r, [router](Cycle) {
+            return double(router->bufferedFlits());
+        });
+        m.addGauge("router.flits.switched", r, [router](Cycle) {
+            return double(router->flitsSwitched());
+        });
+    }
+
+    bool nifdyKind =
+        cfg_.nicKind == NicKind::nifdy || cfg_.nicKind == NicKind::lossy;
+    if (nifdyKind) {
+        m.addGauge("nifdy.opt.occupancy", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const auto &nic : nics_)
+                n += static_cast<const NifdyNic &>(*nic)
+                         .optOccupancy();
+            return double(n);
+        });
+        m.addGauge("nifdy.pool.occupancy", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const auto &nic : nics_)
+                n += static_cast<const NifdyNic &>(*nic)
+                         .poolOccupancy();
+            return double(n);
+        });
+        m.addGauge("nifdy.window.unacked", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const auto &nic : nics_)
+                n += static_cast<const NifdyNic &>(*nic)
+                         .bulkUnacked();
+            return double(n);
+        });
+        m.addGauge("nifdy.acks.sent", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const auto &nic : nics_)
+                n += static_cast<const NifdyNic &>(*nic).acksSent();
+            return double(n);
+        });
+    }
+    if (cfg_.nicKind == NicKind::lossy) {
+        m.addGauge("lossy.retransmissions", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const LossyNifdyNic *ln : lossyNics_)
+                n += ln->retransmissions();
+            return double(n);
+        });
+        m.addGauge("lossy.drops", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const LossyNifdyNic *ln : lossyNics_)
+                n += ln->packetsDropped() + ln->corruptDropped();
+            return double(n);
+        });
+        m.addDistSource("lossy.recovery.latency", [this]() {
+            Distribution d("lossy.recovery.latency");
+            for (const LossyNifdyNic *ln : lossyNics_)
+                d.merge(ln->recoveryLatency());
+            return d;
+        });
+    }
+    if (injector_) {
+        m.addGauge("fault.fabric.drops", -1, [this](Cycle) {
+            return double(injector_->packetsDroppedInFabric());
+        });
+        m.addGauge("fault.corruptions", -1, [this](Cycle) {
+            return double(injector_->packetsCorrupted());
+        });
+    }
+
+    m.addDistSource("nic.latency",
+                    [this]() { return mergedLatency(); });
+}
 
 void
 Experiment::setWorkload(NodeId n, std::unique_ptr<Workload> w)
@@ -359,6 +521,11 @@ Experiment::statsTable() const
         t.row({"packet latency mean / max",
                Table::num(latMean / latSamples, 1) + " / " +
                    Table::num(static_cast<long>(latMax))});
+        Distribution merged = mergedLatency();
+        t.row({"packet latency p50 / p95 / p99",
+               Table::num(merged.percentile(0.50), 0) + " / " +
+                   Table::num(merged.percentile(0.95), 0) + " / " +
+                   Table::num(merged.percentile(0.99), 0)});
     }
 
     if (cfg_.nicKind == NicKind::nifdy ||
@@ -451,6 +618,105 @@ Experiment::statsTable() const
     return t;
 }
 
+Distribution
+Experiment::mergedLatency() const
+{
+    Distribution merged("nic.latency");
+    for (const auto &nic : nics_)
+        merged.merge(nic->latency());
+    return merged;
+}
+
+void
+Experiment::fillReport(RunReport &rep) const
+{
+    rep.echoConfig("topology", cfg_.topology);
+    rep.echoConfig("nodes", std::to_string(cfg_.numNodes));
+    rep.echoConfig("nic", nicKindName(cfg_.nicKind));
+    rep.echoConfig("seed", std::to_string(cfg_.seed));
+    rep.echoConfig("inOrder", inOrder_ ? "yes" : "no");
+    bool nifdyKind =
+        cfg_.nicKind == NicKind::nifdy || cfg_.nicKind == NicKind::lossy;
+    if (nifdyKind) {
+        rep.echoConfig("nifdy.opt", std::to_string(nifdyCfg_.opt));
+        rep.echoConfig("nifdy.pool", std::to_string(nifdyCfg_.pool));
+        rep.echoConfig("nifdy.dialogs",
+                       std::to_string(nifdyCfg_.dialogs));
+        rep.echoConfig("nifdy.window",
+                       std::to_string(nifdyCfg_.window));
+    }
+
+    Cycle now = kernel_.now();
+    rep.addMetric("run.cycles", std::uint64_t(now));
+    rep.addMetric("run.packets.sent", packetsSent());
+    rep.addMetric("run.packets.delivered", packetsDelivered());
+    rep.addMetric("run.words.delivered", wordsDelivered());
+    rep.addMetric("run.goodput",
+                  now > 0 ? wordsDelivered() * double(bytesPerWord) /
+                                double(now)
+                          : 0.0);
+    rep.addMetric("fabric.flits.switched",
+                  net_->totalFlitsSwitched());
+
+    Distribution lat = mergedLatency();
+    if (lat.count() > 0) {
+        rep.addMetric("nic.latency.mean",
+                      double(lat.sum()) / lat.count());
+        rep.addMetric("nic.latency.max", lat.max());
+        rep.addMetric("nic.latency.p50", lat.percentile(0.50));
+        rep.addMetric("nic.latency.p95", lat.percentile(0.95));
+        rep.addMetric("nic.latency.p99", lat.percentile(0.99));
+    }
+
+    std::uint64_t busy = 0;
+    for (const auto &p : procs_)
+        busy += p->cyclesBusy();
+    if (now > 0)
+        rep.addMetric("proc.busy.fraction",
+                      double(busy) / (double(now) * numNodes()));
+
+    if (nifdyKind) {
+        std::uint64_t acks = 0;
+        std::uint64_t grants = 0;
+        std::uint64_t rejects = 0;
+        for (const auto &nic : nics_) {
+            auto &nn = static_cast<const NifdyNic &>(*nic);
+            acks += nn.acksSent();
+            grants += nn.bulkGrants();
+            rejects += nn.bulkRejects();
+        }
+        rep.addMetric("nifdy.acks.sent", acks);
+        rep.addMetric("nifdy.bulk.grants", grants);
+        rep.addMetric("nifdy.bulk.rejects", rejects);
+    }
+    if (cfg_.nicKind == NicKind::lossy) {
+        std::uint64_t retx = 0;
+        std::uint64_t drops = 0;
+        std::uint64_t dups = 0;
+        std::uint64_t abandoned = 0;
+        for (const LossyNifdyNic *ln : lossyNics_) {
+            retx += ln->retransmissions();
+            drops += ln->packetsDropped() + ln->corruptDropped();
+            dups += ln->duplicatesSeen();
+            abandoned += ln->packetsAbandoned();
+        }
+        rep.addMetric("lossy.retransmissions", retx);
+        rep.addMetric("lossy.drops", drops);
+        rep.addMetric("lossy.duplicates", dups);
+        rep.addMetric("lossy.abandoned", abandoned);
+    }
+    if (injector_) {
+        rep.addMetric("fault.fabric.drops",
+                      injector_->packetsDroppedInFabric());
+        rep.addMetric("fault.corruptions",
+                      injector_->packetsCorrupted());
+        rep.addMetric("fault.links.downed",
+                      std::uint64_t(injector_->linksDowned()));
+    }
+
+    rep.addTable(statsTable());
+}
+
 ExperimentConfig
 experimentFromConfig(const Config &conf)
 {
@@ -512,6 +778,22 @@ experimentFromConfig(const Config &conf)
     cfg.lossy.validate();
 
     cfg.fault = FaultPlan::fromConfig(conf);
+
+    cfg.trace.path = conf.getString("trace.path", cfg.trace.path);
+    cfg.trace.sampleRate =
+        conf.getDouble("trace.sampleRate", cfg.trace.sampleRate);
+    cfg.trace.maxEvents = static_cast<std::size_t>(conf.getInt(
+        "trace.maxEvents", static_cast<long>(cfg.trace.maxEvents)));
+    cfg.trace.seed = static_cast<std::uint64_t>(
+        conf.getInt("trace.seed", static_cast<long>(cfg.trace.seed)));
+    cfg.trace.validate();
+
+    cfg.metrics.path =
+        conf.getString("metrics.path", cfg.metrics.path);
+    cfg.metrics.interval = static_cast<Cycle>(conf.getInt(
+        "metrics.interval",
+        static_cast<long>(cfg.metrics.interval)));
+    cfg.metrics.validate();
     return cfg;
 }
 
@@ -562,7 +844,19 @@ experimentCliHelp()
           "internal links\n"
           "  fault.downFrom=N       ...starting at this cycle\n"
           "  fault.downFor=N        ...for this many cycles (0 = "
-          "permanently)\n";
+          "permanently)\n"
+          "telemetry:\n"
+          "  trace.path=FILE        write a Chrome-trace-event "
+          "packet-lifecycle trace\n"
+          "  trace.sampleRate=P     fraction of packet lifecycles "
+          "traced [0, 1]\n"
+          "  trace.maxEvents=N      hard event budget per trace "
+          "file\n"
+          "  trace.seed=N           sampling hash seed (0 = "
+          "experiment seed)\n"
+          "  metrics.path=FILE      write periodic metric snapshots "
+          "(JSONL)\n"
+          "  metrics.interval=N     cycles between metric snapshots\n";
     return os.str();
 }
 

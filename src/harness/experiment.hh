@@ -21,12 +21,15 @@
 #include "nic/retransmit.hh"
 #include "proc/workload.hh"
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/table.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
 
 class Config;
+class RunReport;
 
 /** Which network interface each node gets. */
 enum class NicKind
@@ -65,6 +68,11 @@ struct ExperimentConfig
     /** Run with the invariant-audit layer attached (also enabled by
      * the NIFDY_AUDIT environment variable). */
     bool audit = false;
+    /** Packet-lifecycle tracing (active when trace.path is set and
+     * the trace hooks are compiled in; see NIFDY_TRACE). */
+    TraceConfig trace;
+    /** Periodic metric snapshots (active when metrics.path is set). */
+    MetricsConfig metrics;
     Cycle barrierLatency = 100;
     Cycle watchdog = 2000000;
     std::uint64_t seed = 1;
@@ -101,6 +109,12 @@ class Experiment
 
     /** The fault injector (nullptr when the plan is empty). */
     FaultInjector *faults() { return injector_.get(); }
+
+    /** The packet-lifecycle tracer (nullptr when disabled). */
+    Tracer *tracer() { return tracer_.get(); }
+
+    /** The metric registry (nullptr when disabled). */
+    Metrics *metrics() { return metrics_.get(); }
 
     //! @name Dead-peer reporting (graceful degradation)
     //! @{
@@ -146,9 +160,25 @@ class Experiment
      * utilization, and processor busy fraction.
      */
     Table statsTable() const;
+
+    /**
+     * Aggregate packet latency merged across every NIC (the source
+     * of the p50/p95/p99 estimates in reports and snapshots).
+     */
+    Distribution mergedLatency() const;
+
+    /**
+     * Fill @p rep with this run's machine-readable summary: config
+     * echo, goodput, latency distribution with percentiles,
+     * protocol/fault/retransmission accounting, and the stats table.
+     */
+    void fillReport(RunReport &rep) const;
     //! @}
 
   private:
+    /** Register the standard gauge/distribution set on metrics_. */
+    void wireMetrics();
+
     ExperimentConfig cfg_;
     NifdyConfig nifdyCfg_;
     bool inOrder_ = false;
@@ -164,6 +194,10 @@ class Experiment
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<MessageLayer>> msgs_;
     std::vector<std::unique_ptr<Workload>> workloads_;
+    /** Telemetry sinks; flushed by the destructor before audit_
+     * (below) detaches. */
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<Metrics> metrics_;
     /** Last member: destroyed first, so teardown releases in the
      * layers above are not audited. */
     std::unique_ptr<Audit> audit_;

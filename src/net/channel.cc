@@ -59,6 +59,7 @@ Channel::push(const Flit &flit, Cycle now)
     Cycle arrival = now + classRate(cls) + params_.latency;
     flits_.emplace_back(arrival, flit);
     ++totalFlits_;
+    ++classFlits_[static_cast<int>(cls)];
     panic_if(capacityFlits_ > 0 && inFlight() > capacityFlits_,
              "channel over capacity: %d flits in flight, "
              "credit-bounded capacity %d (%s)",

@@ -92,6 +92,11 @@ class Channel
 
     /** Total flits ever pushed (bandwidth accounting). */
     std::uint64_t totalFlits() const { return totalFlits_; }
+    /** Flits ever pushed for one logical network (telemetry). */
+    std::uint64_t classFlits(NetClass cls) const
+    {
+        return classFlits_[static_cast<int>(cls)];
+    }
 
     //! @name Fault injection: link-down windows
     //! @{
@@ -124,6 +129,7 @@ class Channel
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, int>> credits_;
     std::uint64_t totalFlits_ = 0;
+    std::uint64_t classFlits_[numNetClasses] = {0, 0};
     int capacityFlits_ = 0;
 };
 

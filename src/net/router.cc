@@ -3,6 +3,7 @@
 #include "sim/audit.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -198,6 +199,7 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     outs_[bestPort].reqs.push_back(inVcId(inPort, vcIdx));
     onAllocate(pkt, bestPort, bestVC % params_.vcsPerClass);
     audit::onHop(pkt, id_);
+    trace::onHop(pkt, id_, now);
     return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -92,6 +93,7 @@ Nic::pushArrival(Packet *pkt, Cycle now)
              "arrivals FIFO overflow on node %d", node_);
     arrivals_.push_back(pkt);
     audit::onDeliver(*pkt, node_);
+    trace::onDeliver(*pkt, node_, now);
     ++packetsDelivered_;
     wordsDelivered_ += pkt->payloadWords;
     latency_.sample(now - pkt->createdAt);
@@ -130,6 +132,7 @@ Nic::pumpInject(Cycle now)
         if (f.head) {
             os.pkt->injectedAt = now;
             audit::onInject(*os.pkt, node_);
+            trace::onInject(*os.pkt, node_, now);
             if (os.pkt->type != PacketType::ack &&
                 !os.pkt->ctrlOnly) {
                 ++packetsSent_;

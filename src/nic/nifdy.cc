@@ -2,6 +2,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -33,7 +34,14 @@ NifdyNic::send(Packet *pkt, Cycle now)
     panic_if(!canSend(*pkt), "send on full NIFDY pool, node %d", node_);
     pkt->createdAt = now;
     audit::onSend(*pkt, node_);
+    trace::onSend(*pkt, node_, now);
     sendPool_.push_back({pkt, poolOrder_++});
+    // Record a deferral when protocol admission (OPT slot, window
+    // room, per-destination order) cannot be immediate; the matching
+    // opt.admit/window.admit event closes the gap on the timeline.
+    if (trace::active() && !pkt->noAck &&
+        !eligibleScalar(sendPool_.back(), sendPool_.size() - 1))
+        trace::onOptDefer(*pkt, node_, now);
 }
 
 int
@@ -123,6 +131,7 @@ NifdyNic::takeFromPool(std::size_t idx, Cycle now)
                 out_.exitSent = true;
         }
         ++bulkPacketsSent_;
+        trace::onWindowAdmit(*pkt, node_, now);
         onDataInjected(pkt, now);
         return pkt;
     }
@@ -144,6 +153,7 @@ NifdyNic::takeFromPool(std::size_t idx, Cycle now)
     opt_.push_back(pkt->dst);
     panic_if(static_cast<int>(opt_.size()) > cfg_.opt,
              "OPT overflow on node %d", node_);
+    trace::onOptAdmit(*pkt, node_, now);
     onDataInjected(pkt, now);
     return pkt;
 }
@@ -323,6 +333,7 @@ NifdyNic::abandonPeer(NodeId peer, Cycle now)
         if (p->dst != peer)
             continue;
         audit::onDrop(*p, node_, "peer dead: queued send discarded");
+        trace::onDrop(*p, node_, now, "peer dead: queued send discarded");
         pool_.release(p);
         sendPool_.erase(sendPool_.begin() +
                         static_cast<std::ptrdiff_t>(i - 1));
@@ -352,6 +363,7 @@ NifdyNic::issueScalarAck(Packet *pkt, Cycle now)
     if (cfg_.piggybackAcks && pkt->expectsReply)
         ack->holdUntil = now + cfg_.piggybackWait;
     queueAck(ack);
+    trace::onAckIssue(*pkt, node_, now);
 }
 
 void
@@ -376,6 +388,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         if (pkt->type == PacketType::scalar)
             consumeReservation();
         audit::onDrop(*pkt, node_, "duplicate filtered");
+        trace::onDrop(*pkt, node_, now, "duplicate filtered");
         pool_.release(pkt);
         return;
     }
@@ -432,6 +445,9 @@ NifdyNic::drainDialog(int d, Cycle now)
             audit::onConsume(*pkt, node_, "bulk control absorbed");
             pool_.release(pkt);
         } else {
+            if (trace::active())
+                dlg.traceAckPending.push_back(
+                    pkt->cloneOf ? pkt->cloneOf : pkt->id);
             pushArrival(pkt, now);
         }
         noteActivity();
@@ -465,6 +481,9 @@ NifdyNic::maybeAckDialog(int d, Cycle now)
     ack->ackTotal = dlg.delivered;
     dlg.ackedAt = dlg.delivered;
     queueAck(ack);
+    for (std::uint64_t rootId : dlg.traceAckPending)
+        trace::onAckIssueId(rootId, node_, now);
+    dlg.traceAckPending.clear();
 
     if (dlg.exitDelivered && dlg.buffered == 0) {
         // Dialog complete; free the slot for another sender. The

@@ -269,6 +269,10 @@ class NifdyNic : public Nic
         std::vector<Packet *> slots;   //!< W reorder buffers
         int buffered = 0;
         bool exitDelivered = false;
+        /** Root ids delivered since the last cumulative ack, kept
+         * only while a Tracer is active so each bulk packet's chain
+         * gets an explicit ack event. */
+        std::vector<std::uint64_t> traceAckPending;
     };
 
     Packet *takeFromPool(std::size_t idx, Cycle now);

@@ -2,6 +2,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -27,6 +28,7 @@ BufferedNic::send(Packet *pkt, Cycle now)
     panic_if(!canSend(*pkt), "send on full NIC %d", node_);
     pkt->createdAt = now;
     audit::onSend(*pkt, node_);
+    trace::onSend(*pkt, node_, now);
     sendQueue_.push_back(pkt);
 }
 

@@ -4,6 +4,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -81,6 +82,7 @@ LossyNifdyNic::send(Packet *pkt, Cycle now)
         (void)now;
         ++sendsToDeadPeers_;
         audit::onDrop(*pkt, node_, "peer dead: send discarded");
+        trace::onDrop(*pkt, node_, now, "peer dead: send discarded");
         pool_.release(pkt);
         noteActivity();
         return;
@@ -156,6 +158,7 @@ LossyNifdyNic::retransmit(Snapshot &snap, Cycle now)
     retxQueue_.push_back(p);
     ++retransmissions_;
     audit::onRetransmit(*p, node_);
+    trace::onRetransmit(*p, node_, now);
     noteActivity();
 }
 
@@ -180,6 +183,8 @@ LossyNifdyNic::declarePeerDead(NodeId peer, Cycle now)
     for (auto it = retxQueue_.begin(); it != retxQueue_.end();) {
         if ((*it)->dst == peer) {
             audit::onDrop(**it, node_,
+                          "peer dead: retransmission discarded");
+            trace::onDrop(**it, node_, now,
                           "peer dead: retransmission discarded");
             pool_.release(*it);
             it = retxQueue_.erase(it);
@@ -227,6 +232,7 @@ LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         if (pkt->type == PacketType::scalar)
             consumeReservation(); // canAccept() claimed a slot
         audit::onDrop(*pkt, node_, "corrupted in fabric (CRC)");
+        trace::onDrop(*pkt, node_, now, "corrupted in fabric (CRC)");
         pool_.release(pkt);
         noteActivity();
         return;
@@ -236,6 +242,7 @@ LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         if (pkt->type == PacketType::scalar)
             consumeReservation(); // canAccept() claimed a slot
         audit::onDrop(*pkt, node_, "fault-injected drop");
+        trace::onDrop(*pkt, node_, now, "fault-injected drop");
         pool_.release(pkt);
         noteActivity();
         return;

@@ -8,6 +8,7 @@
 #include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace nifdy
 {
@@ -267,9 +268,10 @@ FaultInjector::budgetLeft() const
 void
 FaultInjector::finishKill(Packet *pkt, int routerId, Cycle now)
 {
-    (void)now;
     ++pktsDropped_;
     audit::onFabricDrop(*pkt, routerId, "fault-injected fabric drop");
+    trace::onFabricDrop(*pkt, routerId, now,
+                        "fault-injected fabric drop");
     pool_.release(pkt);
 }
 
@@ -317,6 +319,7 @@ FaultInjector::filterArrival(int routerId, Channel *ch,
         flit.pkt->corrupted = true;
         ++pktsCorrupted_;
         audit::onCorrupt(*flit.pkt, routerId);
+        trace::onFabricCorrupt(*flit.pkt, routerId, now);
     }
     return false;
 }

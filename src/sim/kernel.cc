@@ -4,6 +4,7 @@
 
 #include "sim/audit.hh"
 #include "sim/log.hh"
+#include "sim/metrics.hh"
 
 namespace nifdy
 {
@@ -24,6 +25,8 @@ Kernel::step()
         obj->step(now_);
     if (audit_)
         audit_->endCycle(now_);
+    if (metrics_)
+        metrics_->endCycle(now_);
     ++now_;
     if (activeThisCycle_)
         idleCycles_ = 0;

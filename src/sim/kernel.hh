@@ -24,6 +24,7 @@ namespace nifdy
 {
 
 class Audit;
+class Metrics;
 
 /** Anything advanced once per cycle by the Kernel. */
 class Steppable
@@ -86,6 +87,14 @@ class Kernel
     void setAudit(Audit *audit) { audit_ = audit; }
     Audit *audit() const { return audit_; }
 
+    /**
+     * Attach a metric registry (non-owning, may be nullptr): its
+     * snapshot clock ticks at the end of every cycle, after the
+     * audit's polled checks.
+     */
+    void setMetrics(Metrics *metrics) { metrics_ = metrics; }
+    Metrics *metrics() const { return metrics_; }
+
   private:
     Cycle now_ = 0;
     bool activeThisCycle_ = false;
@@ -94,6 +103,7 @@ class Kernel
     std::vector<Steppable *> objects_;
     std::vector<std::string> names_;
     Audit *audit_ = nullptr;
+    Metrics *metrics_ = nullptr;
 };
 
 } // namespace nifdy

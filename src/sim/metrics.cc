@@ -1,0 +1,141 @@
+#include "sim/metrics.hh"
+
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+struct Metrics::Writer
+{
+    std::ofstream out;
+};
+
+void
+MetricsConfig::validate() const
+{
+    panic_if(interval == 0, "metrics.interval must be positive");
+}
+
+Metrics::Metrics() = default;
+
+Metrics::~Metrics()
+{
+    if (writer_)
+        finish(lastSnapshot_ == neverCycle ? 0 : lastSnapshot_);
+}
+
+void
+Metrics::addGauge(const std::string &name, int instance,
+                  std::function<double(Cycle)> fn)
+{
+    std::string key = name;
+    if (instance >= 0) {
+        key += '[';
+        key += JsonWriter::numStr(std::int64_t(instance));
+        key += ']';
+    }
+    gauges_.push_back(Gauge{std::move(key), std::move(fn)});
+}
+
+void
+Metrics::addDistSource(const std::string &name,
+                       std::function<Distribution()> fn)
+{
+    distSources_.push_back(DistSource{name, std::move(fn)});
+}
+
+void
+Metrics::startSnapshots(const MetricsConfig &cfg)
+{
+    cfg.validate();
+    panic_if(cfg.path.empty(),
+             "metrics snapshots need a metrics.path");
+    panic_if(writer_ != nullptr, "metrics snapshots already started");
+    cfg_ = cfg;
+    writer_ = std::make_unique<Writer>();
+    writer_->out.open(cfg_.path,
+                      std::ios::binary | std::ios::trunc);
+    panic_if(!writer_->out, "cannot open metrics file %s",
+             cfg_.path.c_str());
+    nextSnapshot_ = 0;
+}
+
+void
+Metrics::endCycle(Cycle now)
+{
+    if (!writer_ || now < nextSnapshot_)
+        return;
+    takeSnapshot(now);
+    nextSnapshot_ = now + cfg_.interval;
+}
+
+void
+Metrics::finish(Cycle now)
+{
+    if (!writer_)
+        return;
+    if (lastSnapshot_ == neverCycle || now > lastSnapshot_)
+        takeSnapshot(now);
+    writer_->out.flush();
+    panic_if(!writer_->out.good(), "short write on metrics file %s",
+             cfg_.path.c_str());
+    writer_.reset();
+}
+
+void
+Metrics::takeSnapshot(Cycle now)
+{
+    writer_->out << snapshotJson(now) << "\n";
+    lastSnapshot_ = now;
+    ++snapshots_;
+}
+
+std::string
+Metrics::snapshotJson(Cycle now) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "nifdy-metrics-1");
+    w.field("cycle", std::uint64_t(now));
+
+    w.key("counters");
+    w.beginObject();
+    for (const Counter *c : stats_.counters())
+        w.field(c->name(), c->value());
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const Gauge &g : gauges_)
+        w.field(g.key, g.fn(now));
+    w.endObject();
+
+    w.key("distributions");
+    w.beginObject();
+    auto emitDist = [&w](const std::string &key,
+                         const Distribution &d) {
+        w.key(key);
+        w.beginObject();
+        w.field("count", d.count());
+        w.field("mean", d.mean());
+        w.field("min", d.min());
+        w.field("max", d.max());
+        w.field("p50", d.percentile(0.50));
+        w.field("p95", d.percentile(0.95));
+        w.field("p99", d.percentile(0.99));
+        w.endObject();
+    };
+    for (const Distribution *d : stats_.distributions())
+        emitDist(d->name(), *d);
+    for (const DistSource &src : distSources_)
+        emitDist(src.key, src.fn());
+    w.endObject();
+
+    w.endObject();
+    return w.take();
+}
+
+} // namespace nifdy

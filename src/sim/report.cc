@@ -1,0 +1,148 @@
+#include "sim/report.hh"
+
+#include <fstream>
+
+#include "sim/config.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace nifdy
+{
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+void
+RunReport::echoConfig(const std::string &key, const std::string &value)
+{
+    config_[key] = value;
+}
+
+void
+RunReport::echoConfig(const Config &conf)
+{
+    for (const std::string &key : conf.keys())
+        config_[key] = conf.getString(key);
+}
+
+void
+RunReport::addTable(Table table)
+{
+    tables_.push_back(std::move(table));
+}
+
+void
+RunReport::addMetric(const std::string &name, double v)
+{
+    metrics_[name] = JsonWriter::numStr(v);
+}
+
+void
+RunReport::addMetric(const std::string &name, std::uint64_t v)
+{
+    metrics_[name] = JsonWriter::numStr(v);
+}
+
+void
+RunReport::addMetric(const std::string &name, std::int64_t v)
+{
+    metrics_[name] = JsonWriter::numStr(v);
+}
+
+void
+RunReport::addSeries(const TimeSeries &ts)
+{
+    seriesJson_.push_back(ts.json());
+}
+
+void
+RunReport::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+void
+RunReport::print(bool csv) const
+{
+    for (const Table &t : tables_) {
+        if (csv)
+            printRaw(t.csv());
+        else
+            t.print();
+    }
+    for (const std::string &note : notes_)
+        printRaw(note + "\n");
+}
+
+std::string
+RunReport::json() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", reportSchema);
+    w.field("tool", tool_);
+
+    w.key("config");
+    w.beginObject();
+    for (const auto &kv : config_)
+        w.field(kv.first, kv.second);
+    w.endObject();
+
+    w.key("metrics");
+    w.beginObject();
+    for (const auto &kv : metrics_) {
+        w.key(kv.first);
+        w.raw(kv.second);
+    }
+    w.endObject();
+
+    w.key("tables");
+    w.beginArray();
+    for (const Table &t : tables_) {
+        w.beginObject();
+        w.field("title", t.title());
+        w.key("columns");
+        w.beginArray();
+        for (const std::string &c : t.headerRow())
+            w.value(c);
+        w.endArray();
+        w.key("rows");
+        w.beginArray();
+        for (const auto &row : t.rowsData()) {
+            w.beginArray();
+            for (const std::string &cell : row)
+                w.value(cell);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("series");
+    w.beginArray();
+    for (const std::string &s : seriesJson_)
+        w.raw(s);
+    w.endArray();
+
+    w.key("notes");
+    w.beginArray();
+    for (const std::string &n : notes_)
+        w.value(n);
+    w.endArray();
+
+    w.endObject();
+    return w.take();
+}
+
+void
+RunReport::writeJson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    panic_if(!out, "cannot open report file %s", path.c_str());
+    out << json() << "\n";
+    panic_if(!out.good(), "short write on report file %s",
+             path.c_str());
+}
+
+} // namespace nifdy

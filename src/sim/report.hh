@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport is the single source of truth for what a bench or
+ * harness run produced: the stdout tables, the scalar summary
+ * metrics (goodput, latency percentiles, fault/retransmission
+ * accounting), the config echo, and any recorded time series all
+ * live in one object, which renders either as the familiar aligned
+ * text (print()) or as a schema-versioned JSON document
+ * (writeJson(), the `--json <path>` bench flag). Schema changes bump
+ * reportSchema; see DESIGN.md section 8 for the version policy.
+ */
+
+#ifndef NIFDY_SIM_REPORT_HH
+#define NIFDY_SIM_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/table.hh"
+
+namespace nifdy
+{
+
+class Config;
+class TimeSeries;
+
+inline constexpr const char *reportSchema = "nifdy-report-1";
+
+class RunReport
+{
+  public:
+    /** @p tool names the producing bench/harness binary. */
+    explicit RunReport(std::string tool);
+
+    //! @name Content
+    //! @{
+    /** Echo one config key (taken verbatim into the JSON). */
+    void echoConfig(const std::string &key, const std::string &value);
+    /** Echo every key of @p conf. */
+    void echoConfig(const Config &conf);
+
+    /** Attach a result table (also printed by print()). */
+    void addTable(Table table);
+
+    /** Scalar summary metrics; names follow the DESIGN.md section 8
+     * taxonomy (component.noun[.verb]). */
+    void addMetric(const std::string &name, double v);
+    void addMetric(const std::string &name, std::uint64_t v);
+    void addMetric(const std::string &name, std::int64_t v);
+
+    /** Attach a recorded time series (serialized in full). */
+    void addSeries(const TimeSeries &ts);
+
+    /** Free-form note, printed after the tables. */
+    void addNote(std::string note);
+    //! @}
+
+    //! @name Rendering
+    //! @{
+    /** Print tables (aligned text, or CSV when @p csv) and notes to
+     * stdout through the log funnel. */
+    void print(bool csv = false) const;
+
+    /** The full JSON document. */
+    std::string json() const;
+
+    /** Write json() to @p path. */
+    void writeJson(const std::string &path) const;
+    //! @}
+
+    const std::vector<Table> &tables() const { return tables_; }
+
+  private:
+    std::string tool_;
+    std::map<std::string, std::string> config_;
+    /** Metric values pre-rendered as JSON number strings (keeps one
+     * map regardless of arithmetic type, deterministic order). */
+    std::map<std::string, std::string> metrics_;
+    std::vector<Table> tables_;
+    std::vector<std::string> seriesJson_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_REPORT_HH

@@ -1,8 +1,9 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <bit>
-#include <sstream>
 
+#include "sim/json.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -31,6 +32,47 @@ Distribution::bucket(int b) const
     return buckets_[b];
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the target sample, 1-based: ceil(p * count), at least 1.
+    double rank = std::max(1.0, p * double(count_));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (double(cum + buckets_[b]) >= rank) {
+            // Interpolate inside [lo, hi): bucket 0 holds {0, 1}.
+            double lo = b == 0 ? 0.0 : double(std::uint64_t(1) << b);
+            double hi = double(std::uint64_t(1) << (b + 1));
+            double frac = (rank - double(cum)) / double(buckets_[b]);
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, double(min()), double(max_));
+        }
+        cum += buckets_[b];
+    }
+    return double(max_);
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (buckets_.size() < other.buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t b = 0; b < other.buckets_.size(); ++b)
+        buckets_[b] += other.buckets_[b];
+}
+
 void
 Distribution::reset()
 {
@@ -52,6 +94,63 @@ const std::vector<std::uint32_t> &
 TimeSeries::row(std::size_t i) const
 {
     return rows_.at(i);
+}
+
+void
+TimeSeries::reset()
+{
+    times_.clear();
+    rows_.clear();
+    nextSample_ = 0;
+}
+
+std::string
+TimeSeries::dump() const
+{
+    std::string out = name_;
+    out += ' ';
+    out += JsonWriter::numStr(std::int64_t(width_));
+    out += ' ';
+    out += JsonWriter::numStr(std::uint64_t(interval_));
+    out += ' ';
+    out += JsonWriter::numStr(std::uint64_t(rows_.size()));
+    out += '\n';
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        out += '@';
+        out += JsonWriter::numStr(std::uint64_t(times_[i]));
+        for (std::uint32_t v : rows_[i]) {
+            out += ' ';
+            out += JsonWriter::numStr(std::uint64_t(v));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TimeSeries::json() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", name_);
+    w.field("width", width_);
+    w.field("interval", std::uint64_t(interval_));
+    w.key("times");
+    w.beginArray();
+    for (Cycle t : times_)
+        w.value(std::uint64_t(t));
+    w.endArray();
+    w.key("rows");
+    w.beginArray();
+    for (const auto &row : rows_) {
+        w.beginArray();
+        for (std::uint32_t v : row)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
 }
 
 Counter &
@@ -81,6 +180,33 @@ StatSet::counters() const
     return out;
 }
 
+TimeSeries &
+StatSet::timeSeries(const std::string &name, int width, Cycle interval)
+{
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        it = series_.emplace(name, TimeSeries(name, width, interval))
+                 .first;
+    } else {
+        panic_if(it->second.width() != width ||
+                     it->second.interval() != interval,
+                 "TimeSeries %s re-registered with mismatched shape "
+                 "(%dx%llu vs %dx%llu)",
+                 name.c_str(), width,
+                 static_cast<unsigned long long>(interval),
+                 it->second.width(),
+                 static_cast<unsigned long long>(it->second.interval()));
+    }
+    return it->second;
+}
+
+const TimeSeries *
+StatSet::findTimeSeries(const std::string &name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
 std::vector<const Distribution *>
 StatSet::distributions() const
 {
@@ -90,18 +216,58 @@ StatSet::distributions() const
     return out;
 }
 
+std::vector<const TimeSeries *>
+StatSet::timeSeriesAll() const
+{
+    std::vector<const TimeSeries *> out;
+    for (const auto &kv : series_)
+        out.push_back(&kv.second);
+    return out;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : dists_)
+        kv.second.reset();
+    for (auto &kv : series_)
+        kv.second.reset();
+}
+
 std::string
 StatSet::dump() const
 {
-    std::ostringstream os;
-    for (const auto &kv : counters_)
-        os << kv.first << " " << kv.second.value() << "\n";
+    std::string out;
+    for (const auto &kv : counters_) {
+        out += kv.first;
+        out += ' ';
+        out += JsonWriter::numStr(kv.second.value());
+        out += '\n';
+    }
     for (const auto &kv : dists_) {
         const Distribution &d = kv.second;
-        os << kv.first << " count=" << d.count() << " mean=" << d.mean()
-           << " min=" << d.min() << " max=" << d.max() << "\n";
+        out += kv.first;
+        out += " count=";
+        out += JsonWriter::numStr(d.count());
+        out += " mean=";
+        out += JsonWriter::numStr(d.mean());
+        out += " min=";
+        out += JsonWriter::numStr(d.min());
+        out += " max=";
+        out += JsonWriter::numStr(d.max());
+        out += " p50=";
+        out += JsonWriter::numStr(d.percentile(0.50));
+        out += " p95=";
+        out += JsonWriter::numStr(d.percentile(0.95));
+        out += " p99=";
+        out += JsonWriter::numStr(d.percentile(0.99));
+        out += '\n';
     }
-    return os.str();
+    for (const auto &kv : series_)
+        out += kv.second.dump();
+    return out;
 }
 
 } // namespace nifdy

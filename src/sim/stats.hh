@@ -54,6 +54,21 @@ class Distribution
 
     /** Samples with value in [2^b, 2^(b+1)), bucket 0 holding {0,1}. */
     std::uint64_t bucket(int b) const;
+
+    /**
+     * Estimate the @p p quantile (p in [0, 1], e.g. 0.5 / 0.95 /
+     * 0.99) from the power-of-two histogram: the bucket holding the
+     * target rank is located by a cumulative scan and the value is
+     * interpolated linearly inside it, then clamped to the observed
+     * [min, max]. Exact for the extremes, within one bucket's span
+     * otherwise. Returns 0 on an empty distribution.
+     */
+    double percentile(double p) const;
+
+    /** Fold @p other into this distribution (for cross-NIC
+     * aggregates); min/max/buckets combine exactly. */
+    void merge(const Distribution &other);
+
     void reset();
 
   private:
@@ -89,6 +104,17 @@ class TimeSeries
     std::size_t rows() const { return rows_.size(); }
     const std::vector<std::uint32_t> &row(std::size_t i) const;
     Cycle rowTime(std::size_t i) const { return times_.at(i); }
+    const std::string &name() const { return name_; }
+
+    /** Drop all recorded rows and rearm the sampling clock. */
+    void reset();
+
+    /** Deterministic text form: one `@cycle v0 v1 ...` line per
+     * row, preceded by a `name width interval rows` header. */
+    std::string dump() const;
+
+    /** JSON object {name, width, interval, times, rows}. */
+    std::string json() const;
 
   private:
     std::string name_;
@@ -109,15 +135,38 @@ class StatSet
     Counter &counter(const std::string &name);
     Distribution &distribution(const std::string &name);
 
+    /**
+     * Named time-series registry. The first call creates the series
+     * with the given shape; later calls return the same object and
+     * panic on a width/interval mismatch (two components disagreeing
+     * about a shared series is a wiring bug).
+     */
+    TimeSeries &timeSeries(const std::string &name, int width,
+                           Cycle interval);
+    /** Look up an existing series, nullptr when absent. */
+    const TimeSeries *findTimeSeries(const std::string &name) const;
+
     /** All counters in name order. */
     std::vector<const Counter *> counters() const;
     std::vector<const Distribution *> distributions() const;
+    std::vector<const TimeSeries *> timeSeriesAll() const;
 
+    /** Reset every registered stat (counters, distributions, and
+     * time series) in place; registrations survive. */
+    void reset();
+
+    /**
+     * Deterministic, locale-independent text dump: map ordering is
+     * already name-sorted, and every number (including distribution
+     * means and percentiles) is rendered via std::to_chars so the
+     * bytes never depend on the global locale or stream state.
+     */
     std::string dump() const;
 
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Distribution> dists_;
+    std::map<std::string, TimeSeries> series_;
 };
 
 } // namespace nifdy

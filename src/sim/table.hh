@@ -34,6 +34,19 @@ class Table
     /** Print str() to stdout. */
     void print() const;
 
+    //! @name Structured access (run-report serialization)
+    //! @{
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headerRow() const
+    {
+        return header_;
+    }
+    const std::vector<std::vector<std::string>> &rowsData() const
+    {
+        return rows_;
+    }
+    //! @}
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,0 +1,243 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <unordered_map>
+
+#include "net/packet.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+namespace
+{
+
+/** Active-tracer stack (mirrors the Audit sink stack). */
+std::vector<Tracer *> &
+tracerStack()
+{
+    static std::vector<Tracer *> stack;
+    return stack;
+}
+
+/**
+ * Per-path use counts for suffix uniquification, so a bench that
+ * builds several traced experiments in one process never clobbers an
+ * earlier trace file.
+ */
+std::string
+uniquifyPath(const std::string &path)
+{
+    static std::map<std::string, int> uses;
+    int n = ++uses[path];
+    if (n == 1)
+        return path;
+    std::string suffix = "." + JsonWriter::numStr(std::int64_t(n));
+    std::size_t dot = path.rfind('.');
+    std::size_t slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/** Deterministic 64-bit mix (splitmix64 finalizer). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+TraceConfig::validate() const
+{
+    panic_if(sampleRate < 0.0 || sampleRate > 1.0,
+             "trace.sampleRate %f out of [0, 1]", sampleRate);
+    panic_if(maxEvents == 0, "trace.maxEvents must be positive");
+}
+
+Tracer::Tracer(const TraceConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    path_ = uniquifyPath(cfg_.path);
+    if (cfg_.sampleRate >= 1.0) {
+        sampleThreshold_ = ~std::uint64_t(0);
+    } else if (cfg_.sampleRate <= 0.0) {
+        sampleThreshold_ = 0;
+    } else {
+        sampleThreshold_ = std::uint64_t(
+            cfg_.sampleRate * double(~std::uint64_t(0)));
+    }
+    tracerStack().push_back(this);
+}
+
+Tracer::~Tracer()
+{
+    close();
+    auto &stack = tracerStack();
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (*it == this) {
+            stack.erase(std::next(it).base());
+            break;
+        }
+    }
+}
+
+Tracer *
+Tracer::current()
+{
+    auto &stack = tracerStack();
+    return stack.empty() ? nullptr : stack.back();
+}
+
+bool
+Tracer::sampledId(std::uint64_t rootId) const
+{
+    if (sampleThreshold_ == ~std::uint64_t(0))
+        return true;
+    if (sampleThreshold_ == 0)
+        return false;
+    return mix64(rootId ^ cfg_.seed) <= sampleThreshold_;
+}
+
+bool
+Tracer::sampled(const Packet &pkt) const
+{
+    return sampledId(pkt.cloneOf ? pkt.cloneOf : pkt.id);
+}
+
+void
+Tracer::record(const char *name, std::uint64_t rootId, Cycle now,
+               int track, std::int32_t attempt, const char *why)
+{
+    if (closed_)
+        return;
+    if (events_.size() >= cfg_.maxEvents) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(Event{name, why, rootId, now,
+                            static_cast<std::int32_t>(track), attempt});
+}
+
+void
+Tracer::packetEvent(const char *name, const Packet &pkt, Cycle now,
+                    int track, const char *why)
+{
+    // Acks and NIC-internal control packets are not lifecycle
+    // subjects; their protocol effect is traced as ev::ackIssue (or
+    // not at all), keeping one async chain per payload packet.
+    if (pkt.type == PacketType::ack || pkt.ctrlOnly)
+        return;
+    std::uint64_t root = pkt.cloneOf ? pkt.cloneOf : pkt.id;
+    if (!sampledId(root))
+        return;
+    record(name, root, now, track, pkt.attempt, why);
+}
+
+void
+Tracer::idEvent(const char *name, std::uint64_t rootId, Cycle now,
+                int track, const char *why)
+{
+    if (!sampledId(rootId))
+        return;
+    record(name, rootId, now, track, 0, why);
+}
+
+void
+Tracer::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+
+    // Per-id first/last indices: the first event of a chain becomes
+    // the async "b", the last the async "e", everything between "n".
+    // The buffer is already in simulation-time order, so chains come
+    // out with monotone timestamps by construction.
+    std::unordered_map<std::uint64_t, std::pair<std::size_t,
+                                                std::size_t>> span;
+    span.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        auto [it, fresh] = span.try_emplace(events_[i].id,
+                                            std::make_pair(i, i));
+        if (!fresh)
+            it->second.second = i;
+    }
+
+    // Single-event chains are written as a b/e pair below, so the
+    // emitted count exceeds the buffered count by one per singleton.
+    std::uint64_t emitted = events_.size();
+    for (const auto &kv : span)
+        if (kv.second.first == kv.second.second)
+            ++emitted;
+
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    panic_if(!out, "cannot open trace file %s", path_.c_str());
+
+    auto emit = [&out](const Event &e, char phase) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("name", e.name);
+        w.field("cat", "packet");
+        w.field("ph", std::string_view(&phase, 1));
+        w.field("id", e.id);
+        w.field("pid", 0);
+        w.field("tid", std::int64_t(e.track));
+        w.field("ts", std::uint64_t(e.ts));
+        w.key("args");
+        w.beginObject();
+        w.field("attempt", std::int64_t(e.attempt));
+        if (e.why)
+            w.field("why", e.why);
+        w.endObject();
+        w.endObject();
+        out << w.str();
+    };
+
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        const auto &[lo, hi] = span.at(e.id);
+        if (!first)
+            out << ",";
+        first = false;
+        if (lo == hi) {
+            // Single-event chain: emit a matching b/e pair so every
+            // async id is well formed.
+            emit(e, 'b');
+            out << ",";
+            emit(e, 'e');
+        } else if (i == lo) {
+            emit(e, 'b');
+        } else if (i == hi) {
+            emit(e, 'e');
+        } else {
+            emit(e, 'n');
+        }
+    }
+    out << "],\"otherData\":";
+    JsonWriter meta;
+    meta.beginObject();
+    meta.field("schema", "nifdy-trace-1");
+    meta.field("clockDomain", "cycles");
+    meta.field("sampleRate", cfg_.sampleRate);
+    meta.field("maxEvents", cfg_.maxEvents);
+    meta.field("eventsRecorded", emitted);
+    meta.field("eventsDropped", dropped_);
+    meta.endObject();
+    out << meta.str() << "}\n";
+    panic_if(!out.good(), "short write on trace file %s",
+             path_.c_str());
+}
+
+} // namespace nifdy

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Packet-lifecycle tracer.
+ *
+ * Records per-packet events -- send, inject, OPT admit/defer, every
+ * router hop, deliver, ack, retransmit, drop -- with cycle
+ * timestamps and Section 6.2 retransmission provenance, and writes
+ * them as Chrome-trace-event JSON (the "b"/"n"/"e" async form) that
+ * loads directly in Perfetto. All events of one logical packet share
+ * an async id: retransmission clones trace under the id of the
+ * packet they re-send (cloneOf), so a lossy run shows one unbroken
+ * chain per payload from first send to final ack.
+ *
+ * Cost model mirrors the audit layer (see audit.hh):
+ *  - compiled out entirely with -DNIFDY_TRACE=OFF (the trace::on*
+ *    shims become empty inline functions);
+ *  - when compiled in, a hook costs one pointer test until a Tracer
+ *    is activated at run time (the `trace.path` knob);
+ *  - when active, per-packet sampling (trace.sampleRate, keyed on a
+ *    deterministic hash of the packet's root id so whole lifecycles
+ *    are kept or skipped together) and a hard event budget
+ *    (trace.maxEvents) bound both overhead and memory.
+ *
+ * Event names form the taxonomy documented in DESIGN.md section 8;
+ * tools/lint.py enforces the component.noun[.verb] convention and
+ * taxonomy membership, and tools/check_trace.py validates emitted
+ * files in CI.
+ */
+
+#ifndef NIFDY_SIM_TRACE_HH
+#define NIFDY_SIM_TRACE_HH
+
+#ifndef NIFDY_TRACE_ENABLED
+#define NIFDY_TRACE_ENABLED 0
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+struct Packet;
+
+/** Event-name taxonomy (DESIGN.md section 8). */
+namespace ev
+{
+
+inline constexpr const char *packetSend = "nic.packet.send";
+inline constexpr const char *packetInject = "nic.packet.inject";
+inline constexpr const char *packetDeliver = "nic.packet.deliver";
+inline constexpr const char *packetDrop = "nic.packet.drop";
+inline constexpr const char *packetRetransmit = "nic.packet.retransmit";
+inline constexpr const char *ackIssue = "nic.ack.issue";
+inline constexpr const char *optAdmit = "nifdy.opt.admit";
+inline constexpr const char *optDefer = "nifdy.opt.defer";
+inline constexpr const char *windowAdmit = "nifdy.window.admit";
+inline constexpr const char *routerHop = "router.packet.hop";
+inline constexpr const char *fabricDrop = "fabric.packet.drop";
+inline constexpr const char *fabricCorrupt = "fabric.packet.corrupt";
+
+} // namespace ev
+
+/** Runtime knobs (CLI: trace.path / trace.sampleRate / ...). */
+struct TraceConfig
+{
+    /** Output file; empty disables tracing. */
+    std::string path;
+    /** Fraction of packet lifecycles recorded, in [0, 1]. */
+    double sampleRate = 1.0;
+    /** Hard cap on buffered events; further events are counted as
+     * dropped but not recorded. Bounds tracer memory (~48 B/event). */
+    std::uint64_t maxEvents = std::uint64_t(1) << 20;
+    /** Sampling hash seed; 0 = inherit the experiment seed. */
+    std::uint64_t seed = 0;
+
+    /** Panic on out-of-range values. */
+    void validate() const;
+};
+
+/**
+ * The event sink. Constructing a Tracer makes it the current sink
+ * (a stack is kept so nested scopes in tests behave); destroying it
+ * pops it and writes the file if close() has not already.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(const TraceConfig &cfg);
+    ~Tracer();
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The active sink, or nullptr when tracing is off. */
+    static Tracer *current();
+
+    /**
+     * Flush the buffered events to cfg.path as Chrome trace JSON and
+     * stop recording. Idempotent; the destructor calls it. When
+     * several Tracers in one process share a path, later ones get a
+     * ".2", ".3", ... suffix before the extension so files are never
+     * clobbered (path() reports the actual file written).
+     */
+    void close();
+
+    /** The file this tracer writes (after suffix uniquification). */
+    const std::string &path() const { return path_; }
+
+    std::uint64_t eventsRecorded() const { return events_.size(); }
+    std::uint64_t eventsDropped() const { return dropped_; }
+
+    /** True when @p pkt's lifecycle is sampled (root-id hash). */
+    bool sampled(const Packet &pkt) const;
+    bool sampledId(std::uint64_t rootId) const;
+
+    //! @name Recording (called through the trace::on* shims)
+    //! @{
+    /** Lifecycle event for a data packet; ack/ctrlOnly packets are
+     * filtered out (their protocol effects are traced via
+     * ackEvent()). @p track becomes the Chrome tid. */
+    void packetEvent(const char *name, const Packet &pkt, Cycle now,
+                     int track, const char *why = nullptr);
+    /** Event attributed to a root packet id directly (used for
+     * cumulative bulk acks, where the ack covers many packets). */
+    void idEvent(const char *name, std::uint64_t rootId, Cycle now,
+                 int track, const char *why = nullptr);
+    //! @}
+
+  private:
+    struct Event
+    {
+        const char *name; //!< taxonomy constant (static storage)
+        const char *why;  //!< optional reason literal, may be null
+        std::uint64_t id; //!< root packet id (async chain id)
+        Cycle ts;
+        std::int32_t track;
+        std::int32_t attempt;
+    };
+
+    void record(const char *name, std::uint64_t rootId, Cycle now,
+                int track, std::int32_t attempt, const char *why);
+
+    TraceConfig cfg_;
+    std::string path_;
+    std::vector<Event> events_;
+    std::uint64_t dropped_ = 0;
+    /** sampleRate mapped onto the u64 hash range. */
+    std::uint64_t sampleThreshold_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Observer hook shims. Components call these unconditionally; they
+ * compile to nothing with -DNIFDY_TRACE=OFF and to one pointer test
+ * while no Tracer is active. Field inspection (sampling, ack/ctrl
+ * filtering) happens inside Tracer, keeping this header free of a
+ * packet.hh dependency.
+ */
+namespace trace
+{
+
+/** True when tracing support is compiled in at all. */
+constexpr bool
+compiledIn()
+{
+    return NIFDY_TRACE_ENABLED != 0;
+}
+
+inline Tracer *
+sink()
+{
+#if NIFDY_TRACE_ENABLED
+    return Tracer::current();
+#else
+    return nullptr;
+#endif
+}
+
+/** True when a Tracer is currently recording (use to gate work that
+ * only exists to feed the tracer, e.g. bulk-ack id bookkeeping). */
+inline bool
+active()
+{
+    return sink() != nullptr;
+}
+
+inline void
+onSend(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::packetSend, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onInject(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::packetInject, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onHop(const Packet &pkt, int routerId, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::routerHop, pkt, now, routerId);
+    (void)pkt;
+    (void)routerId;
+    (void)now;
+}
+
+inline void
+onDeliver(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::packetDeliver, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onOptAdmit(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::optAdmit, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onOptDefer(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::optDefer, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onWindowAdmit(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::windowAdmit, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+/** Scalar ack: @p pkt is the DATA packet being acknowledged. */
+inline void
+onAckIssue(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::ackIssue, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+/** Cumulative bulk ack covering the packet with root id @p rootId. */
+inline void
+onAckIssueId(std::uint64_t rootId, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->idEvent(ev::ackIssue, rootId, now, node);
+    (void)rootId;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onRetransmit(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::packetRetransmit, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+inline void
+onDrop(const Packet &pkt, NodeId node, Cycle now, const char *why)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::packetDrop, pkt, now, node, why);
+    (void)pkt;
+    (void)node;
+    (void)now;
+    (void)why;
+}
+
+inline void
+onFabricDrop(const Packet &pkt, int routerId, Cycle now,
+             const char *why)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::fabricDrop, pkt, now, routerId, why);
+    (void)pkt;
+    (void)routerId;
+    (void)now;
+    (void)why;
+}
+
+inline void
+onFabricCorrupt(const Packet &pkt, int routerId, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::fabricCorrupt, pkt, now, routerId);
+    (void)pkt;
+    (void)routerId;
+    (void)now;
+}
+
+} // namespace trace
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_TRACE_HH

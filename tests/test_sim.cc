@@ -218,6 +218,55 @@ TEST(Stats, DistributionBuckets)
     EXPECT_EQ(d.bucket(5), 0u);
 }
 
+TEST(Stats, DistributionPercentiles)
+{
+    Distribution e("empty");
+    EXPECT_DOUBLE_EQ(e.percentile(0.50), 0.0);
+
+    Distribution d("p");
+    for (int i = 0; i < 100; ++i)
+        d.sample(7);
+    // All mass in one bucket: every percentile clamps to [min, max].
+    EXPECT_DOUBLE_EQ(d.percentile(0.50), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-1.0), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(2.0), 7.0);
+
+    Distribution u("u");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        u.sample(v);
+    double p50 = u.percentile(0.50);
+    double p95 = u.percentile(0.95);
+    double p99 = u.percentile(0.99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 100.0);
+    EXPECT_GE(p95, 64.0);
+}
+
+TEST(Stats, DistributionMerge)
+{
+    Distribution a("lat");
+    Distribution b("lat");
+    a.sample(1);
+    a.sample(2);
+    b.sample(100);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 103u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 100u);
+
+    Distribution empty("lat");
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_EQ(empty.min(), 1u);
+    EXPECT_EQ(empty.max(), 100u);
+}
+
 TEST(Stats, TimeSeriesSampling)
 {
     TimeSeries ts("pend", 3, 100);
@@ -240,6 +289,44 @@ TEST(Stats, StatSetNamesAndDump)
     auto dump = s.dump();
     EXPECT_NE(dump.find("a 3"), std::string::npos);
     EXPECT_NE(dump.find("count=1"), std::string::npos);
+    EXPECT_NE(dump.find("p50="), std::string::npos);
+}
+
+TEST(Stats, StatSetDumpIsOrderIndependent)
+{
+    StatSet a;
+    a.counter("z").inc(1);
+    a.counter("a").inc(2);
+    a.distribution("lat").sample(5);
+
+    StatSet b;
+    b.distribution("lat").sample(5);
+    b.counter("a").inc(2);
+    b.counter("z").inc(1);
+
+    EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(Stats, StatSetTimeSeriesRegistry)
+{
+    StatSet s;
+    TimeSeries &ts = s.timeSeries("pend", 2, 50);
+    EXPECT_EQ(s.findTimeSeries("pend"), &ts);
+    EXPECT_EQ(s.findTimeSeries("nope"), nullptr);
+    EXPECT_EQ(&s.timeSeries("pend", 2, 50), &ts);
+
+    ts.record(0, {1, 2});
+    ts.record(50, {3, 4});
+    ASSERT_EQ(s.timeSeriesAll().size(), 1u);
+    EXPECT_NE(s.dump().find("pend 2 50 2"), std::string::npos);
+
+    std::string j = ts.json();
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_NE(j.find("\"pend\""), std::string::npos);
+    EXPECT_NE(j.find("[3,4]"), std::string::npos);
+
+    s.reset();
+    EXPECT_EQ(ts.rows(), 0u);
 }
 
 /** A component that counts its steps and reports activity. */

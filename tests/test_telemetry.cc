@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the observability layer (DESIGN.md section 8): the JSON
+ * writer, run reports, the packet-lifecycle tracer (sampling, event
+ * budget, non-perturbation) and periodic metric snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/json.hh"
+#include "sim/report.hh"
+#include "traffic/synthetic.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+/** A small traced/metered heavy run; returns packets delivered and
+ * reports the tracer's output path and counters via out-params. */
+std::uint64_t
+runSmall(ExperimentConfig cfg, std::string *tracePath = nullptr,
+         std::uint64_t *recorded = nullptr,
+         std::uint64_t *dropped = nullptr)
+{
+    cfg.topology = "mesh2d";
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::nifdy;
+    cfg.msg.packetWords = 8;
+    Experiment exp(cfg);
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(),
+                               SyntheticParams::heavy(), 1));
+    exp.runFor(20000);
+    if (exp.tracer()) {
+        if (tracePath)
+            *tracePath = exp.tracer()->path();
+        if (recorded)
+            *recorded = exp.tracer()->eventsRecorded();
+        if (dropped)
+            *dropped = exp.tracer()->eventsDropped();
+    }
+    return exp.packetsDelivered();
+}
+
+TEST(Telemetry, JsonWriterStructureAndEscaping)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("s", "a\"b\\c\n\t");
+    w.field("i", std::int64_t(-3));
+    w.field("u", std::uint64_t(7));
+    w.field("d", 1.5);
+    w.field("t", true);
+    w.key("arr");
+    w.beginArray();
+    w.value(1);
+    w.valueNull();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"a\\\"b\\\\c\\n\\t\",\"i\":-3,\"u\":7,"
+              "\"d\":1.5,\"t\":true,\"arr\":[1,null]}");
+    EXPECT_EQ(JsonWriter::escape("ctrl\x01"), "ctrl\\u0001");
+    EXPECT_EQ(JsonWriter::numStr(0.25), "0.25");
+}
+
+TEST(Telemetry, RunReportJsonShape)
+{
+    RunReport rep("unit_test");
+    rep.echoConfig("nodes", "16");
+    rep.addMetric("run.goodput", 0.5);
+    rep.addMetric("run.cycles", std::uint64_t(100));
+    rep.addNote("hello");
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    rep.addTable(t);
+
+    std::string j = rep.json();
+    EXPECT_NE(j.find("\"schema\":\"nifdy-report-1\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"tool\":\"unit_test\""), std::string::npos);
+    EXPECT_NE(j.find("\"nodes\":\"16\""), std::string::npos);
+    EXPECT_NE(j.find("\"run.goodput\":0.5"), std::string::npos);
+    EXPECT_NE(j.find("\"run.cycles\":100"), std::string::npos);
+    EXPECT_NE(j.find("\"notes\":[\"hello\"]"), std::string::npos);
+    EXPECT_NE(j.find("\"title\":\"demo\""), std::string::npos);
+}
+
+#if NIFDY_TRACE_ENABLED
+
+TEST(Telemetry, TracedRunWritesBalancedChains)
+{
+    ExperimentConfig cfg;
+    cfg.trace.path = ::testing::TempDir() + "nifdy_t1_trace.json";
+    std::string path;
+    std::uint64_t recorded = 0;
+    std::uint64_t delivered = runSmall(cfg, &path, &recorded);
+    EXPECT_GT(delivered, 0u);
+    ASSERT_FALSE(path.empty());
+    EXPECT_GT(recorded, 0u);
+
+    std::string doc = slurp(path);
+    EXPECT_NE(doc.find("\"schema\":\"nifdy-trace-1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"clockDomain\":\"cycles\""),
+              std::string::npos);
+    std::size_t begins = countOf(doc, "\"ph\":\"b\"");
+    std::size_t ends = countOf(doc, "\"ph\":\"e\"");
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_NE(doc.find("nic.packet.send"), std::string::npos);
+    EXPECT_NE(doc.find("nic.packet.deliver"), std::string::npos);
+    EXPECT_NE(doc.find("router.packet.hop"), std::string::npos);
+}
+
+TEST(Telemetry, SampleRateZeroRecordsNoEvents)
+{
+    ExperimentConfig cfg;
+    cfg.trace.path = ::testing::TempDir() + "nifdy_t2_trace.json";
+    cfg.trace.sampleRate = 0.0;
+    std::uint64_t recorded = ~std::uint64_t(0);
+    runSmall(cfg, nullptr, &recorded);
+    EXPECT_EQ(recorded, 0u);
+}
+
+TEST(Telemetry, EventBudgetBoundsTheBuffer)
+{
+    ExperimentConfig cfg;
+    cfg.trace.path = ::testing::TempDir() + "nifdy_t3_trace.json";
+    cfg.trace.maxEvents = 64;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    runSmall(cfg, nullptr, &recorded, &dropped);
+    EXPECT_LE(recorded, 64u);
+    EXPECT_GT(dropped, 0u);
+}
+
+TEST(Telemetry, TracingDoesNotPerturbTheRun)
+{
+    ExperimentConfig plain;
+    std::uint64_t base = runSmall(plain);
+
+    ExperimentConfig traced;
+    traced.trace.path = ::testing::TempDir() + "nifdy_t4_trace.json";
+    EXPECT_EQ(runSmall(traced), base);
+
+    ExperimentConfig sampled;
+    sampled.trace.path = ::testing::TempDir() + "nifdy_t5_trace.json";
+    sampled.trace.sampleRate = 0.25;
+    EXPECT_EQ(runSmall(sampled), base);
+}
+
+#endif // NIFDY_TRACE_ENABLED
+
+TEST(Telemetry, MetricsSnapshotsAreJsonl)
+{
+    ExperimentConfig cfg;
+    cfg.metrics.path = ::testing::TempDir() + "nifdy_metrics.jsonl";
+    cfg.metrics.interval = 1000;
+    std::uint64_t delivered = runSmall(cfg);
+    EXPECT_GT(delivered, 0u);
+
+    std::istringstream in(slurp(cfg.metrics.path));
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NE(line.find("\"schema\":\"nifdy-metrics-1\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"cycle\":"), std::string::npos);
+        EXPECT_NE(line.find("run.goodput"), std::string::npos);
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+    // One snapshot per interval over 20k cycles, plus the final one.
+    EXPECT_GE(lines, 10u);
+    EXPECT_LE(lines, 30u);
+}
+
+} // namespace
+} // namespace nifdy

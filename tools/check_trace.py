@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a NIFDY packet-lifecycle trace (Chrome trace-event JSON).
+
+Checks, per file:
+  - the wrapper has traceEvents + otherData with schema nifdy-trace-1
+  - every event carries name/cat/ph/id/pid/tid/ts/args and the name
+    follows the component.noun[.verb] taxonomy (DESIGN.md section 8)
+  - per async id: phases frame the chain as b (n)* e and timestamps
+    are monotone non-decreasing (attempts may interleave: a late
+    original can trail its own retransmission clone)
+  - --complete: every chain either ends in a drop or runs the full
+    send -> inject -> hop+ -> deliver lifecycle in that order
+  - --require-acks: every delivered chain also records nic.ack.issue
+
+Exit status 0 when every file passes, 1 otherwise.
+
+Usage: check_trace.py [--complete] [--require-acks] TRACE.json...
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){1,2}$")
+REQUIRED_FIELDS = ("name", "cat", "ph", "id", "pid", "tid", "ts",
+                   "args")
+ORDERED_LIFECYCLE = ("nic.packet.send", "nic.packet.inject",
+                     "router.packet.hop", "nic.packet.deliver")
+
+
+def fail(errors, msg, limit=20):
+    if len(errors) < limit:
+        errors.append(msg)
+    elif len(errors) == limit:
+        errors.append("... further errors suppressed")
+
+
+def check_file(path, complete, require_acks):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        return [f"{path}: missing otherData"]
+    if other.get("schema") != "nifdy-trace-1":
+        return [f"{path}: unknown schema {other.get('schema')!r}"]
+    if other.get("clockDomain") != "cycles":
+        fail(errors, f"{path}: clockDomain is not 'cycles'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not a list"]
+    recorded = other.get("eventsRecorded")
+    if recorded is not None and recorded != len(events):
+        fail(errors,
+             f"{path}: eventsRecorded={recorded} but "
+             f"{len(events)} events present")
+
+    chains = {}
+    for i, ev in enumerate(events):
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                fail(errors, f"{path}: event {i} missing '{field}'")
+        name = ev.get("name", "")
+        if not NAME_RE.match(name):
+            fail(errors,
+                 f"{path}: event {i} name '{name}' violates the "
+                 "component.noun[.verb] taxonomy")
+        if ev.get("ph") not in ("b", "n", "e"):
+            fail(errors,
+                 f"{path}: event {i} has phase {ev.get('ph')!r}, "
+                 "want async b/n/e")
+        if ev.get("cat") != "packet":
+            fail(errors, f"{path}: event {i} category is not 'packet'")
+        chains.setdefault(ev.get("id"), []).append(ev)
+
+    for cid, chain in chains.items():
+        phases = [ev["ph"] for ev in chain]
+        if phases[0] != "b":
+            fail(errors, f"{path}: id {cid} does not open with 'b'")
+        if phases[-1] != "e":
+            fail(errors, f"{path}: id {cid} does not close with 'e'")
+        if ("b" in phases[1:] or "e" in phases[:-1] or
+                len(chain) < 2):
+            fail(errors,
+                 f"{path}: id {cid} phases are not b (n)* e: "
+                 f"{phases}")
+        last_ts = None
+        for ev in chain:
+            ts = ev.get("ts")
+            if last_ts is not None and ts < last_ts:
+                fail(errors,
+                     f"{path}: id {cid} timestamps go backwards "
+                     f"({last_ts} -> {ts})")
+            last_ts = ts
+            attempt = ev.get("args", {}).get("attempt")
+            if attempt is not None and attempt < 0:
+                fail(errors,
+                     f"{path}: id {cid} has a negative attempt")
+
+        names = [ev["name"] for ev in chain]
+        if complete:
+            dropped = any(n.endswith(".drop") for n in names)
+            if not dropped:
+                pos = -1
+                for step in ORDERED_LIFECYCLE:
+                    try:
+                        pos = names.index(step, pos + 1)
+                    except ValueError:
+                        fail(errors,
+                             f"{path}: id {cid} chain has no "
+                             f"'{step}' after position {pos} "
+                             f"(chain: {names})")
+                        break
+        if require_acks and "nic.packet.deliver" in names:
+            if "nic.ack.issue" not in names:
+                fail(errors,
+                     f"{path}: id {cid} was delivered but never "
+                     "acked")
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--complete", action="store_true",
+                    help="require full send->inject->hop->deliver "
+                         "chains (drops exempt)")
+    ap.add_argument("--require-acks", action="store_true",
+                    help="require nic.ack.issue on delivered chains")
+    ap.add_argument("traces", nargs="+", metavar="TRACE.json")
+    args = ap.parse_args()
+
+    status = 0
+    for path in args.traces:
+        errors = check_file(path, args.complete, args.require_acks)
+        if errors:
+            status = 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,12 +23,21 @@ Checks enforced (see DESIGN.md, "Static analysis"):
                           Topology, Experiment, the test harnesses).
                           Abstract classes (declaring a pure virtual)
                           are exempt.
-  5. knob-documented   -- every fault.* / lossy.* config key read
-                          anywhere in src/ (getString/getInt/
-                          getDouble/getBool) must be listed in the
-                          CLI help text in src/harness/experiment.cc,
-                          so no fault-injection knob is ever
+  5. knob-documented   -- every fault.* / lossy.* / trace.* /
+                          metrics.* config key read anywhere in src/
+                          (getString/getInt/getDouble/getBool) must be
+                          listed in the CLI help text in
+                          src/harness/experiment.cc, so no
+                          fault-injection or telemetry knob is ever
                           undiscoverable from the command line.
+  6. telemetry-taxonomy - every metric / trace-event name emitted as
+                          a string literal in src/, bench/ or
+                          examples/ (trace.hh ev:: constants, and the
+                          first argument of addGauge/addDistSource/
+                          addMetric/counter/distribution/timeSeries)
+                          must follow the component.noun[.verb]
+                          convention and be listed in the DESIGN.md
+                          section 8 taxonomy table.
 
 Exit status 0 when clean, 1 when any violation is found.
 """
@@ -180,7 +189,7 @@ def parse_classes(files):
 CLI_HELP_FILE = SRC / "harness" / "experiment.cc"
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy)\.[A-Za-z0-9_.]+)"')
+    r'((?:fault|lossy|trace|metrics)\.[A-Za-z0-9_.]+)"')
 
 
 def check_knob_documented():
@@ -198,6 +207,58 @@ def check_knob_documented():
                         (path, lineno, "knob-documented",
                          f"config key {knob} is missing from the CLI "
                          "help in src/harness/experiment.cc"))
+    return violations
+
+
+DESIGN_FILE = ROOT / "DESIGN.md"
+BENCH = ROOT / "bench"
+EXAMPLES = ROOT / "examples"
+TAXONOMY_RE = re.compile(r"^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){1,2}$")
+# A complete string literal passed as the (first) name argument of a
+# metric/stat sink; partial literals built with `+` do not match.
+TELEMETRY_CALL_RE = re.compile(
+    r"\b(?:addGauge|addDistSource|addMetric|counter|distribution|"
+    r'timeSeries)\s*\(\s*"([a-z0-9.]+)"\s*[,)]')
+# ev:: taxonomy constants in src/sim/trace.hh.
+TRACE_EV_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\s*\*\s*\w+\s*=\s*"([^"]+)"')
+
+
+def design_taxonomy_section():
+    """The text of DESIGN.md section 8 (empty if absent)."""
+    text = DESIGN_FILE.read_text()
+    m = re.search(r"^## 8\..*?(?=^## |\Z)", text,
+                  re.MULTILINE | re.DOTALL)
+    return m.group(0) if m else ""
+
+
+def check_telemetry_taxonomy():
+    """Raw-text scan (names live inside string literals)."""
+    section = design_taxonomy_section()
+    violations = []
+
+    def check_name(path, lineno, name):
+        if not TAXONOMY_RE.match(name):
+            violations.append(
+                (path, lineno, "telemetry-taxonomy",
+                 f"name '{name}' does not follow "
+                 "component.noun[.verb]"))
+        elif f"`{name}`" not in section:
+            violations.append(
+                (path, lineno, "telemetry-taxonomy",
+                 f"name '{name}' is missing from the DESIGN.md "
+                 "section 8 taxonomy table"))
+
+    trace_hh = SRC / "sim" / "trace.hh"
+    for lineno, line in enumerate(
+            trace_hh.read_text().splitlines(), start=1):
+        for m in TRACE_EV_RE.finditer(line):
+            check_name(trace_hh, lineno, m.group(1))
+    for path in cpp_files(SRC, BENCH, EXAMPLES):
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in TELEMETRY_CALL_RE.finditer(line):
+                check_name(path, lineno, m.group(1))
     return violations
 
 
@@ -295,6 +356,7 @@ def main():
     violations += check_stdio(src_files)
     violations += check_steppable_registration(src_files, test_files)
     violations += check_knob_documented()
+    violations += check_telemetry_taxonomy()
 
     if violations:
         report(sorted(violations, key=lambda v: (str(v[0]), v[1])))
