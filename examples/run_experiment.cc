@@ -13,6 +13,8 @@
  *   words=N         cshift payload words per pair (default 120)
  *   csv=true        emit the summary table as CSV too
  *   help=true       print the full key reference
+ *   --list-knobs    print every config knob as name, default, doc
+ *                   (tab-separated, one per line) and exit
  *
  * This is also the binary CI uses to exercise the telemetry stack:
  *   run_experiment workload=cshift nic=lossy fault.dropProb=0.001 \
@@ -39,6 +41,15 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < leftovers.size(); ++i) {
         if (leftovers[i] == "--help")
             conf.set("help", true);
+        if (leftovers[i] == "--list-knobs") {
+            printRaw(experimentKnobList());
+            printRaw("workload\theavy\t"
+                     "workload kind: heavy, light, cshift, idle\n"
+                     "cycles\t200000\tcycle budget\n"
+                     "words\t120\tcshift payload words per pair\n"
+                     "csv\tfalse\temit the summary table as CSV too\n");
+            return 0;
+        }
         if (leftovers[i] == "--json" && i + 1 < leftovers.size())
             jsonPath = leftovers[i + 1];
     }

@@ -124,6 +124,17 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         injector_->attachNetwork(*net_);
     }
 
+    cfg_.nodeFault.validate();
+    crashedEver_.assign(cfg_.numNodes, false);
+    if (cfg_.nodeFault.active()) {
+        nodeDriver_ = std::make_unique<NodeFaultDriver>(
+            cfg_.nodeFault, cfg_.numNodes, cfg_.seed,
+            [this](NodeId n, bool restart, Cycle now) {
+                onNodeFault(n, restart, now);
+            });
+        kernel_.add(nodeDriver_.get(), "nodefaults");
+    }
+
     barrier_ = std::make_unique<Barrier>(cfg_.numNodes,
                                          cfg_.barrierLatency);
 
@@ -171,6 +182,16 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         }
         nic->setKernel(&kernel_);
         kernel_.add(nic.get(), "nic" + std::to_string(n));
+        if (nifdyKind) {
+            auto *nn = static_cast<NifdyNic *>(nic.get());
+            // Live-peer survival under endpoint faults: tolerate
+            // cold receivers (dialog rejects instead of protocol
+            // panics) and reclaim state aimed at silent peers.
+            nn->setExpectPeerFailures(cfg_.nodeFault.active() ||
+                                      cfg_.nodeReclaim > 0);
+            nn->setReclaimTimeout(cfg_.nodeReclaim);
+            nifdyNics_.push_back(nn);
+        }
         if (cfg_.nicKind == NicKind::lossy)
             lossyNics_.push_back(
                 static_cast<LossyNifdyNic *>(nic.get()));
@@ -205,6 +226,7 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         for (int c = 0; c < net_->numChannels(); ++c)
             audit_->watchChannel(&net_->channelAt(c));
         audit_->setExpectFaults(injector_ != nullptr);
+        audit_->setExpectNodeFaults(nodeDriver_ != nullptr);
         kernel_.setAudit(audit_.get());
     }
 
@@ -367,9 +389,54 @@ Experiment::wireMetrics()
             return double(injector_->packetsCorrupted());
         });
     }
+    if (nodeDriver_) {
+        m.addGauge("node.crashes", -1,
+                   [this](Cycle) { return double(nodeCrashes_); });
+        m.addGauge("node.restarts", -1,
+                   [this](Cycle) { return double(nodeRestarts_); });
+        if (nifdyKind) {
+            m.addGauge("nic.epoch.rejects", -1, [this](Cycle) {
+                std::uint64_t n = 0;
+                for (const NifdyNic *nn : nifdyNics_)
+                    n += nn->epochRejects();
+                return double(n);
+            });
+            m.addGauge("nifdy.dialog.teardowns", -1, [this](Cycle) {
+                std::uint64_t n = 0;
+                for (const NifdyNic *nn : nifdyNics_)
+                    n += nn->dialogTeardowns();
+                return double(n);
+            });
+        }
+    }
 
     m.addDistSource("nic.latency",
                     [this]() { return mergedLatency(); });
+}
+
+void
+Experiment::onNodeFault(NodeId n, bool restart, Cycle now)
+{
+    if (!restart) {
+        crashedEver_.at(n) = true;
+        anyCrashed_ = true;
+        ++nodeCrashes_;
+        // Application state dies first (the staged packet would
+        // leak), then the processor goes dark, the survivors'
+        // barriers stop waiting, and finally the NIC fail-stops
+        // (emitting the audit/trace crash events).
+        msgs_.at(n)->crashReset(now);
+        procs_.at(n)->setOffline(true, now);
+        barrier_->excuse(n, now);
+        nics_.at(n)->crash(now);
+    } else {
+        ++nodeRestarts_;
+        // Cold NIC state, bumped incarnation epoch. The node rejoins
+        // as a barrier free-runner: its workload may resume ticking
+        // but is permanently excused from run completion.
+        nics_.at(n)->restart(now);
+        procs_.at(n)->setOffline(false, now);
+    }
 }
 
 void
@@ -382,9 +449,15 @@ Experiment::setWorkload(NodeId n, std::unique_ptr<Workload> w)
 bool
 Experiment::allDone() const
 {
-    for (const auto &w : workloads_)
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        // A node that ever crashed is excused: its application state
+        // did not survive, so its workload can never finish.
+        if (crashedEver_[n])
+            continue;
+        const auto &w = workloads_[n];
         if (w && !w->done())
             return false;
+    }
     return true;
 }
 
@@ -407,34 +480,35 @@ std::vector<std::pair<NodeId, NodeId>>
 Experiment::deadPeerPairs() const
 {
     std::vector<std::pair<NodeId, NodeId>> pairs;
-    for (const LossyNifdyNic *ln : lossyNics_)
-        for (NodeId peer : ln->deadPeers())
-            pairs.emplace_back(ln->node(), peer);
+    for (const NifdyNic *nn : nifdyNics_)
+        for (NodeId peer : nn->deadPeers())
+            pairs.emplace_back(nn->node(), peer);
     return pairs;
 }
 
 Cycle
 Experiment::runUntilDone(Cycle maxCycles)
 {
-    // Grace period before a stalled run with dead peers is declared
-    // unfinishable: long enough for any in-flight recovery (two full
-    // backed-off timeouts) to make progress if it ever will.
+    // Grace period before a stalled run with dead peers or crashed
+    // nodes is declared unfinishable: long enough for any in-flight
+    // recovery (two full backed-off timeouts, or two reclamation
+    // rounds) to make progress if it ever will.
     Cycle grace =
         std::max<Cycle>(50000, 2 * cfg_.lossy.effMaxTimeout());
+    if (cfg_.nodeReclaim > 0)
+        grace = std::max(grace, 2 * cfg_.nodeReclaim);
     std::uint64_t lastProgress = ~std::uint64_t(0);
     Cycle progressAt = 0;
     Cycle ran = kernel_.run(
         maxCycles, [this, grace, &lastProgress, &progressAt] {
             if (allDone())
                 return true;
-            if (lossyNics_.empty())
-                return false;
-            bool anyDead = false;
-            for (const LossyNifdyNic *ln : lossyNics_) {
-                if (!ln->deadPeers().empty()) {
-                    anyDead = true;
+            bool anyDead = anyCrashed_;
+            for (const NifdyNic *nn : nifdyNics_) {
+                if (anyDead)
                     break;
-                }
+                if (!nn->deadPeers().empty())
+                    anyDead = true;
             }
             if (!anyDead)
                 return false;
@@ -455,6 +529,11 @@ Experiment::runUntilDone(Cycle maxCycles)
             warn("run ended unfinished: node %d gave up on dead "
                  "peer %d",
                  dp.first, dp.second);
+        for (NodeId n = 0; n < cfg_.numNodes; ++n)
+            if (crashedEver_[n])
+                warn("run ended unfinished: node %d crashed at some "
+                     "point%s",
+                     n, nics_[n]->crashed() ? " and stayed down" : "");
     }
     return ran;
 }
@@ -551,13 +630,21 @@ Experiment::statsTable() const
                    Table::num(static_cast<long>(rejects))});
         t.row({"bulk data packets",
                Table::num(static_cast<long>(bulk))});
+        int dead = totalDeadPeers();
+        if (dead > 0) {
+            std::uint64_t abandoned = 0;
+            for (const NifdyNic *nn2 : nifdyNics_)
+                abandoned += nn2->packetsAbandoned();
+            t.row({"dead peers / packets abandoned",
+                   Table::num(static_cast<long>(dead)) + " / " +
+                       Table::num(static_cast<long>(abandoned))});
+        }
     }
     if (cfg_.nicKind == NicKind::lossy) {
         std::uint64_t retx = 0;
         std::uint64_t drops = 0;
         std::uint64_t dups = 0;
         std::uint64_t crc = 0;
-        std::uint64_t abandoned = 0;
         std::uint64_t recSum = 0;
         std::uint64_t recCount = 0;
         std::uint64_t recMax = 0;
@@ -566,7 +653,6 @@ Experiment::statsTable() const
             drops += ln->packetsDropped();
             dups += ln->duplicatesSeen();
             crc += ln->corruptDropped();
-            abandoned += ln->packetsAbandoned();
             const Distribution &d = ln->recoveryLatency();
             recSum += d.sum();
             recCount += d.count();
@@ -583,11 +669,6 @@ Experiment::statsTable() const
             t.row({"recovery latency mean / max",
                    Table::num(double(recSum) / recCount, 1) + " / " +
                        Table::num(static_cast<long>(recMax))});
-        int dead = totalDeadPeers();
-        if (dead > 0)
-            t.row({"dead peers / packets abandoned",
-                   Table::num(static_cast<long>(dead)) + " / " +
-                       Table::num(static_cast<long>(abandoned))});
     }
     if (injector_) {
         t.row({"fabric drops (pkts / flits)",
@@ -603,6 +684,23 @@ Experiment::statsTable() const
             t.row({"links downed",
                    Table::num(static_cast<long>(
                        injector_->linksDowned()))});
+    }
+    if (nodeDriver_) {
+        t.row({"node crashes / restarts",
+               Table::num(static_cast<long>(nodeCrashes_)) + " / " +
+                   Table::num(static_cast<long>(nodeRestarts_))});
+        if (cfg_.nicKind == NicKind::nifdy ||
+            cfg_.nicKind == NicKind::lossy) {
+            std::uint64_t erej = 0;
+            std::uint64_t tear = 0;
+            for (const NifdyNic *nn : nifdyNics_) {
+                erej += nn->epochRejects();
+                tear += nn->dialogTeardowns();
+            }
+            t.row({"epoch rejects / dialog teardowns",
+                   Table::num(static_cast<long>(erej)) + " / " +
+                       Table::num(static_cast<long>(tear))});
+        }
     }
 
     t.row({"fabric flits switched",
@@ -713,6 +811,25 @@ Experiment::fillReport(RunReport &rep) const
         rep.addMetric("fault.links.downed",
                       std::uint64_t(injector_->linksDowned()));
     }
+    if (nodeDriver_) {
+        rep.addMetric("node.crashes", nodeCrashes_);
+        rep.addMetric("node.restarts", nodeRestarts_);
+        if (nifdyKind) {
+            std::uint64_t erej = 0;
+            std::uint64_t tear = 0;
+            std::uint64_t abandoned = 0;
+            for (const NifdyNic *nn : nifdyNics_) {
+                erej += nn->epochRejects();
+                tear += nn->dialogTeardowns();
+                abandoned += nn->packetsAbandoned();
+            }
+            rep.addMetric("nic.epoch.rejects", erej);
+            rep.addMetric("nifdy.dialog.teardowns", tear);
+            rep.addMetric("nifdy.dead.peers",
+                          std::uint64_t(totalDeadPeers()));
+            rep.addMetric("nifdy.abandoned", abandoned);
+        }
+    }
 
     rep.addTable(statsTable());
 }
@@ -779,6 +896,19 @@ experimentFromConfig(const Config &conf)
 
     cfg.fault = FaultPlan::fromConfig(conf);
 
+    cfg.nodeFault = NodeFaultPlan::fromConfig(conf);
+    cfg.nodeFault.validate();
+    // Reclamation defaults on with a node-fault plan: without it a
+    // base-NIFDY survivor would pin an OPT entry on a dead peer
+    // forever. It must exceed the worst-case ack round trip
+    // (including lossy backoff) or live peers get declared dead.
+    long reclaim = conf.getInt(
+        "node.reclaimTimeout",
+        cfg.nodeFault.active() ? 25000
+                               : static_cast<long>(cfg.nodeReclaim));
+    fatal_if(reclaim < 0, "node.reclaimTimeout must be >= 0");
+    cfg.nodeReclaim = static_cast<Cycle>(reclaim);
+
     cfg.trace.path = conf.getString("trace.path", cfg.trace.path);
     cfg.trace.sampleRate =
         conf.getDouble("trace.sampleRate", cfg.trace.sampleRate);
@@ -795,6 +925,103 @@ experimentFromConfig(const Config &conf)
         static_cast<long>(cfg.metrics.interval)));
     cfg.metrics.validate();
     return cfg;
+}
+
+namespace
+{
+
+/** One CLI config knob: name, default as typed, one-line doc. The
+ * table is the source of truth for --list-knobs and is parsed by
+ * tools/lint.py (knob-in-design rule). */
+struct KnobDoc
+{
+    const char *name;
+    const char *def;
+    const char *doc;
+};
+
+const KnobDoc knobDocs[] = {
+    {"topology", "fattree",
+     "network topology: mesh2d, mesh3d, torus2d, fattree, "
+     "fattree-saf, cm5, butterfly, multibutterfly, mesh2d-adaptive"},
+    {"nodes", "64", "number of nodes"},
+    {"nic", "nifdy", "NIC kind: none, buffers, nifdy, lossy"},
+    {"seed", "1", "experiment RNG seed"},
+    {"watchdog", "2000000", "idle-cycle watchdog limit"},
+    {"barrierLatency", "100", "barrier network release latency"},
+    {"audit", "false", "attach the invariant-audit layer"},
+    {"exploitInOrder", "true",
+     "software exploits in-order delivery when available"},
+    {"nifdy.opt", "per-topology",
+     "OPT entries (outstanding-packet table size)"},
+    {"nifdy.pool", "per-topology", "send-pool entries"},
+    {"nifdy.dialogs", "per-topology", "simultaneous bulk dialogs"},
+    {"nifdy.window", "per-topology", "bulk dialog window size"},
+    {"lossy.dropProb", "0",
+     "receiver-side drop probability, [0, 1)"},
+    {"lossy.retxTimeout", "4000",
+     "initial retransmit timeout in cycles"},
+    {"lossy.backoffFactor", "1",
+     "timeout multiplier per retry (1 = fixed timer)"},
+    {"lossy.maxRetxTimeout", "0",
+     "backoff ceiling in cycles (0 = 16x lossy.retxTimeout)"},
+    {"lossy.jitterFrac", "0",
+     "retransmit deadline jitter fraction, [0, 1)"},
+    {"lossy.maxRetries", "0",
+     "declare a peer dead after N retries (0 = retry forever)"},
+    {"fault.dropProb", "0",
+     "per-hop in-fabric packet drop probability, [0, 1]"},
+    {"fault.corruptProb", "0",
+     "per-hop packet corruption probability, [0, 1]"},
+    {"fault.maxDrops", "-1",
+     "stop injecting after N packets hit (-1 = unlimited)"},
+    {"fault.seed", "0", "fault RNG seed (0 = experiment seed)"},
+    {"fault.linkDown", "",
+     "LINK@FROM[+DUR],... link outage windows"},
+    {"fault.portDown", "",
+     "ROUTER.PORT@FROM[+DUR],... router output-port failures"},
+    {"fault.downLinks", "0",
+     "additionally down N random internal links"},
+    {"fault.downFrom", "0", "random link outages start cycle"},
+    {"fault.downFor", "0",
+     "random link outage duration (0 = permanent)"},
+    {"node.crash", "",
+     "NODE@FROM[+DUR],... fail-stop schedules (+DUR = downtime "
+     "before restart; none = stays dead)"},
+    {"node.randomCrashes", "0", "crash N distinct random nodes"},
+    {"node.crashFrom", "0", "random crash-cycle window start"},
+    {"node.crashSpan", "0", "random crash-cycle window length"},
+    {"node.restartAfter", "0",
+     "downtime before each random crash restarts (0 = stays dead)"},
+    {"node.seed", "0",
+     "endpoint-fault RNG seed (0 = experiment seed)"},
+    {"node.reclaimTimeout", "0",
+     "live peers reclaim protocol state aimed at a silent peer "
+     "after N idle cycles (0 = off; 25000 when a node plan is "
+     "active)"},
+    {"trace.path", "",
+     "write a Chrome-trace-event packet-lifecycle trace here"},
+    {"trace.sampleRate", "1",
+     "fraction of packet lifecycles traced, [0, 1]"},
+    {"trace.maxEvents", "1048576",
+     "hard event budget per trace file"},
+    {"trace.seed", "0",
+     "sampling hash seed (0 = experiment seed)"},
+    {"metrics.path", "",
+     "write periodic metric snapshots (JSONL) here"},
+    {"metrics.interval", "10000",
+     "cycles between metric snapshots"},
+};
+
+} // namespace
+
+std::string
+experimentKnobList()
+{
+    std::ostringstream os;
+    for (const KnobDoc &k : knobDocs)
+        os << k.name << "\t" << k.def << "\t" << k.doc << "\n";
+    return os.str();
 }
 
 std::string
@@ -845,6 +1072,25 @@ experimentCliHelp()
           "  fault.downFrom=N       ...starting at this cycle\n"
           "  fault.downFor=N        ...for this many cycles (0 = "
           "permanently)\n"
+          "endpoint (node) fault injection:\n"
+          "  node.crash=SPECS       NODE@FROM[+DUR],... fail-stop "
+          "schedules\n"
+          "                         (+DUR = downtime before restart; "
+          "none = stays dead)\n"
+          "  node.randomCrashes=N   crash N distinct random nodes\n"
+          "  node.crashFrom=N       ...drawing crash cycles from "
+          "this cycle on\n"
+          "  node.crashSpan=N       ...across this many cycles\n"
+          "  node.restartAfter=N    ...each restarting after N "
+          "cycles down (0 = stays dead)\n"
+          "  node.seed=N            endpoint-fault RNG seed (0 = "
+          "experiment seed)\n"
+          "  node.reclaimTimeout=N  live peers reclaim protocol "
+          "state aimed at a silent\n"
+          "                         peer after N idle cycles (0 = "
+          "off; defaults to 25000\n"
+          "                         when a node-fault plan is "
+          "active)\n"
           "telemetry:\n"
           "  trace.path=FILE        write a Chrome-trace-event "
           "packet-lifecycle trace\n"

@@ -61,6 +61,14 @@ struct ExperimentConfig
     /** In-fabric fault injection (drops, corruption, link outages).
      * Probabilistic faults require nicKind == lossy. */
     FaultPlan fault;
+    /** Endpoint fault injection: fail-stop crashes and restarts
+     * with incarnation epochs (node.* knobs). */
+    NodeFaultPlan nodeFault;
+    /** Live peers reclaim protocol state (OPT entries, stalled bulk
+     * dialogs) aimed at a silent peer after this many idle cycles;
+     * 0 disables. Defaulted by experimentFromConfig() to 25000 when
+     * a node-fault plan is active and the knob is unset. */
+    Cycle nodeReclaim = 0;
     ProcParams proc;
     MessageParams msg;
     /** Let the software exploit in-order delivery when available. */
@@ -110,6 +118,18 @@ class Experiment
     /** The fault injector (nullptr when the plan is empty). */
     FaultInjector *faults() { return injector_.get(); }
 
+    /** The endpoint-fault driver (nullptr when the plan is empty). */
+    NodeFaultDriver *nodeFaults() { return nodeDriver_.get(); }
+
+    /** Has node @p n crashed at least once during this run? */
+    bool nodeCrashedEver(NodeId n) const
+    {
+        return crashedEver_.at(n);
+    }
+
+    std::uint64_t nodeCrashes() const { return nodeCrashes_; }
+    std::uint64_t nodeRestarts() const { return nodeRestarts_; }
+
     /** The packet-lifecycle tracer (nullptr when disabled). */
     Tracer *tracer() { return tracer_.get(); }
 
@@ -118,7 +138,7 @@ class Experiment
 
     //! @name Dead-peer reporting (graceful degradation)
     //! @{
-    /** (reporting node, dead peer) pairs across all lossy NICs. */
+    /** (reporting node, dead peer) pairs across all NIFDY NICs. */
     std::vector<std::pair<NodeId, NodeId>> deadPeerPairs() const;
     int totalDeadPeers() const
     {
@@ -179,6 +199,9 @@ class Experiment
     /** Register the standard gauge/distribution set on metrics_. */
     void wireMetrics();
 
+    /** NodeFaultDriver handler: crash or restart node @p n. */
+    void onNodeFault(NodeId n, bool restart, Cycle now);
+
     ExperimentConfig cfg_;
     NifdyConfig nifdyCfg_;
     bool inOrder_ = false;
@@ -189,11 +212,20 @@ class Experiment
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<Barrier> barrier_;
     std::vector<std::unique_ptr<Nic>> nics_;
+    /** Downcast cache of nics_ for NIFDY kinds (nifdy and lossy). */
+    std::vector<NifdyNic *> nifdyNics_;
     /** Downcast cache of nics_ when nicKind == lossy. */
     std::vector<LossyNifdyNic *> lossyNics_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<MessageLayer>> msgs_;
     std::vector<std::unique_ptr<Workload>> workloads_;
+    /** Endpoint-fault schedule executor (nullptr = empty plan). */
+    std::unique_ptr<NodeFaultDriver> nodeDriver_;
+    /** Per-node: crashed at least once (its workload is excused). */
+    std::vector<bool> crashedEver_;
+    bool anyCrashed_ = false;
+    std::uint64_t nodeCrashes_ = 0;
+    std::uint64_t nodeRestarts_ = 0;
     /** Telemetry sinks; flushed by the destructor before audit_
      * (below) detaches. */
     std::unique_ptr<Tracer> tracer_;
@@ -213,6 +245,14 @@ ExperimentConfig experimentFromConfig(const Config &conf);
 
 /** Human-readable key=value reference for experimentFromConfig(). */
 std::string experimentCliHelp();
+
+/**
+ * Machine-readable knob reference: one line per config key in the
+ * form "name<TAB>default<TAB>doc" (run_experiment --list-knobs).
+ * tools/lint.py parses the underlying table, so every knob listed
+ * here must also be documented in DESIGN.md.
+ */
+std::string experimentKnobList();
 
 } // namespace nifdy
 

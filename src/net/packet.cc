@@ -42,6 +42,10 @@ Packet::toString() const
         os << " breq";
     if (bulkExit)
         os << " bexit";
+    if (srcEpoch)
+        os << " epoch=" << srcEpoch;
+    if (type == PacketType::ack && ackEpoch)
+        os << " ackEpoch=" << ackEpoch;
     if (corrupted)
         os << " corrupt";
     if (cloneOf)

@@ -62,6 +62,16 @@ struct Packet
     bool dupBit = false;      //!< Section 6.2: retransmission parity
     std::int16_t dialog = -1; //!< bulk dialog number at the receiver
     std::int16_t seq = -1;    //!< bulk sequence number (mod 2W space)
+    /**
+     * Sender incarnation epoch. A node starts at epoch 0 and bumps
+     * it on every restart after a crash; receivers reject packets
+     * stamped with an epoch older than the newest one seen from that
+     * source and resync their duplicate-filter state when a newer
+     * epoch appears. Real hardware would carry a few bits and rely
+     * on bounded crash-detection latency; the model carries the full
+     * counter so arbitrarily late stale packets can never alias.
+     */
+    std::uint32_t srcEpoch = 0;
     //! @}
 
     //! @name Ack payload (valid when type == ack)
@@ -78,6 +88,9 @@ struct Packet
      * robust against ack reordering on multipath networks.
      */
     std::int64_t ackTotal = -1;
+    /** Incarnation epoch of the data packet this ack answers; the
+     * original sender discards acks whose epoch is not its own. */
+    std::uint32_t ackEpoch = 0;
     //! @}
 
     //! @name Protocol-internal flags

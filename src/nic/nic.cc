@@ -79,6 +79,84 @@ Nic::onProcessorAccept(Packet *pkt, Cycle now)
 }
 
 void
+Nic::onCrash(Cycle now)
+{
+    (void)now;
+}
+
+void
+Nic::onRestart(Cycle now)
+{
+    (void)now;
+}
+
+void
+Nic::crashDiscard(Packet *pkt, Cycle now, const char *why)
+{
+    audit::onDrop(*pkt, node_, why);
+    trace::onDrop(*pkt, node_, now, why);
+    ++crashDiscards_;
+    pool_.release(pkt);
+}
+
+void
+Nic::crash(Cycle now)
+{
+    panic_if(crashed_, "node %d crashed while already down", node_);
+    crashed_ = true;
+    audit::onNodeCrash(node_, now);
+    trace::onNodeCrash(node_, now);
+    // Delivered-but-unconsumed arrivals die with the node.
+    while (!arrivals_.empty()) {
+        Packet *pkt = arrivals_.front();
+        arrivals_.pop_front();
+        crashDiscard(pkt, now, "node crashed: arrival discarded");
+    }
+    // Packets mid-reassembly were accepted by the dead incarnation:
+    // their remaining flits keep draining (credit discipline), but
+    // the reassembled body is black-holed, and the FIFO slots they
+    // reserved are forfeit.
+    for (InStream &is : inStreams_)
+        if (is.assembling)
+            blackhole_.insert(is.assembling);
+    reservedArrivals_ = 0;
+    onCrash(now);
+}
+
+void
+Nic::restart(Cycle now)
+{
+    panic_if(!crashed_, "node %d restarted while alive", node_);
+    crashed_ = false;
+    ++epoch_;
+    audit::onNodeRestart(node_, epoch_, now);
+    trace::onNodeRestart(node_, epoch_, now);
+    onRestart(now);
+}
+
+bool
+Nic::acceptArrival(const Packet &pkt)
+{
+    if (crashed_) {
+        blackhole_.insert(&pkt);
+        return true;
+    }
+    return canAccept(pkt);
+}
+
+void
+Nic::deliverArrival(Packet *pkt, Cycle now)
+{
+    auto it = blackhole_.find(pkt);
+    if (it != blackhole_.end()) {
+        blackhole_.erase(it);
+        crashDiscard(pkt, now, "node crashed: delivery black-holed");
+        return;
+    }
+    onPacketDelivered(pkt, now);
+}
+
+void
 Nic::consumeReservation()
 {
     panic_if(reservedArrivals_ <= 0,
@@ -116,7 +194,7 @@ Nic::pumpInject(Cycle now)
             continue;
         OutStream &os = outStream_[cls];
         if (!os.pkt) {
-            os.pkt = nextToInject(nc, now);
+            os.pkt = crashed_ ? nullptr : nextToInject(nc, now);
             if (!os.pkt)
                 continue;
             panic_if(os.pkt->netClass != nc,
@@ -131,6 +209,7 @@ Nic::pumpInject(Cycle now)
         f.vc = static_cast<std::int8_t>(vc);
         if (f.head) {
             os.pkt->injectedAt = now;
+            os.pkt->srcEpoch = epoch_;
             audit::onInject(*os.pkt, node_);
             trace::onInject(*os.pkt, node_, now);
             if (os.pkt->type != PacketType::ack &&
@@ -170,7 +249,7 @@ Nic::pumpEject(Cycle now)
                 panic_if(is.assembling,
                          "head flit while assembling on node %d",
                          node_);
-                if (!canAccept(*f.pkt))
+                if (!acceptArrival(*f.pkt))
                     break; // backpressure: withhold credits
                 is.assembling = f.pkt;
                 is.flitsSeen = 0;
@@ -189,7 +268,7 @@ Nic::pumpEject(Cycle now)
                              pkt->numFlits(params_.flitBytes),
                          "flit count mismatch on node %d", node_);
                 is.assembling = nullptr;
-                onPacketDelivered(pkt, now);
+                deliverArrival(pkt, now);
             }
         }
     }

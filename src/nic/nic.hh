@@ -15,6 +15,7 @@
 #define NIFDY_NIC_NIC_HH
 
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "net/topology.hh"
@@ -90,6 +91,38 @@ class Nic : public Steppable
 
     void step(Cycle now) override;
 
+    //! @name Endpoint fault domain (fail-stop crash / cold restart)
+    //! @{
+    /**
+     * Fail-stop: discard the arrivals FIFO and all subclass protocol
+     * state (via onCrash()), then black-hole every packet the fabric
+     * delivers while down. The flit pumps keep running -- a crashed
+     * endpoint that stopped returning credits would wedge the whole
+     * fabric -- and a packet whose head flit already entered the
+     * network finishes its wormhole (a stalled partial wormhole
+     * would block the injection channel forever; real links bound
+     * this with link-level abort, which packet-granular flits cannot
+     * express).
+     */
+    void crash(Cycle now);
+
+    /**
+     * Cold restart: protocol state stays empty (onRestart() lets
+     * subclasses resync) and the incarnation epoch is bumped, so
+     * peers can tell this incarnation's packets from stale ones.
+     */
+    void restart(Cycle now);
+
+    bool crashed() const { return crashed_; }
+
+    /** Incarnation epoch: 0 at construction, +1 per restart. Every
+     * packet's head flit is stamped with it on injection. */
+    std::uint32_t epoch() const { return epoch_; }
+
+    /** Packets black-holed (or purged from arrivals) while down. */
+    std::uint64_t crashDiscards() const { return crashDiscards_; }
+    //! @}
+
     NodeId node() const { return node_; }
     void setKernel(Kernel *k) { kernel_ = k; }
 
@@ -128,6 +161,14 @@ class Nic : public Steppable
 
     /** The processor popped @p pkt from the arrivals FIFO. */
     virtual void onProcessorAccept(Packet *pkt, Cycle now);
+
+    /** Crash teardown hook: release every queued/booked packet and
+     * clear protocol state. The base class has already emptied the
+     * arrivals FIFO. */
+    virtual void onCrash(Cycle now);
+
+    /** Cold-restart hook, called after the epoch bump. */
+    virtual void onRestart(Cycle now);
     //! @}
 
     /** Queue a fully reassembled data packet for the processor. */
@@ -165,9 +206,21 @@ class Nic : public Steppable
     NicParams params_;
     PacketPool &pool_;
 
+    /** Discard a packet delivered to (or stranded on) a crashed
+     * node: terminal lifecycle drop + pool release. */
+    void crashDiscard(Packet *pkt, Cycle now, const char *why);
+
   private:
     void pumpInject(Cycle now);
     void pumpEject(Cycle now);
+
+    /** canAccept(), unless crashed: then accept unconditionally and
+     * remember the packet for black-holing at its tail flit. */
+    bool acceptArrival(const Packet &pkt);
+
+    /** Route a reassembled packet: black-hole it when it was
+     * accepted by a crashed incarnation, else onPacketDelivered(). */
+    void deliverArrival(Packet *pkt, Cycle now);
 
     Network::NodePorts ports_;
     Kernel *kernel_ = nullptr;
@@ -197,6 +250,16 @@ class Nic : public Steppable
     std::deque<Packet *> arrivals_;
     int reservedArrivals_ = 0;
     std::vector<std::uint32_t> *injectBoard_ = nullptr;
+    //! @}
+
+    //! @name Endpoint fault state
+    //! @{
+    bool crashed_ = false;
+    std::uint32_t epoch_ = 0;
+    /** Packets whose head flit a crashed incarnation accepted; their
+     * reassembled bodies are discarded instead of delivered. */
+    std::unordered_set<const Packet *> blackhole_;
+    std::uint64_t crashDiscards_ = 0;
     //! @}
 
     //! @name Stats

@@ -1,5 +1,7 @@
 #include "nic/nifdy.hh"
 
+#include <algorithm>
+
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -24,13 +26,25 @@ NifdyNic::NifdyNic(NodeId node, const Network::NodePorts &ports,
 bool
 NifdyNic::canSend(const Packet &pkt) const
 {
-    (void)pkt;
+    // A dead peer accepts anything: send() discards it immediately,
+    // so the processor can keep making progress instead of spinning
+    // on a pool slot that will never clear.
+    if (isPeerDead(pkt.dst))
+        return true;
     return static_cast<int>(sendPool_.size()) < cfg_.pool;
 }
 
 void
 NifdyNic::send(Packet *pkt, Cycle now)
 {
+    if (isPeerDead(pkt->dst)) {
+        ++sendsToDeadPeers_;
+        audit::onDrop(*pkt, node_, "peer dead: send discarded");
+        trace::onDrop(*pkt, node_, now, "peer dead: send discarded");
+        pool_.release(pkt);
+        noteActivity();
+        return;
+    }
     panic_if(!canSend(*pkt), "send on full NIFDY pool, node %d", node_);
     pkt->createdAt = now;
     audit::onSend(*pkt, node_);
@@ -42,6 +56,88 @@ NifdyNic::send(Packet *pkt, Cycle now)
     if (trace::active() && !pkt->noAck &&
         !eligibleScalar(sendPool_.back(), sendPool_.size() - 1))
         trace::onOptDefer(*pkt, node_, now);
+}
+
+void
+NifdyNic::step(Cycle now)
+{
+    if (reclaimTimeout_ > 0)
+        reclaimStalled(now);
+    Nic::step(now);
+}
+
+bool
+NifdyNic::peerSilent(NodeId peer, Cycle now) const
+{
+    auto it = lastHeard_.find(peer);
+    Cycle heard = it == lastHeard_.end() ? 0 : it->second;
+    return now - heard >= reclaimTimeout_;
+}
+
+void
+NifdyNic::reclaimStalled(Cycle now)
+{
+    // A stalled clock alone is not proof of death: a busy peer that
+    // keeps rejecting bulk requests is still talking (every valid
+    // arrival refreshes lastHeard_). Reclaim only when the state
+    // aimed at the peer is stuck AND the peer has been silent for
+    // the whole window.
+    std::vector<NodeId> stalled;
+    for (std::size_t i = 0; i < opt_.size(); ++i)
+        if (now - optSince_[i] >= reclaimTimeout_ &&
+            peerSilent(opt_[i], now) && !isPeerDead(opt_[i]))
+            stalled.push_back(opt_[i]);
+    if ((out_.active || out_.requested) && out_.peer != invalidNode &&
+        now - out_.lastProgress >= reclaimTimeout_ &&
+        peerSilent(out_.peer, now) && !isPeerDead(out_.peer))
+        stalled.push_back(out_.peer);
+    // Receiver side: a granted window whose sender fell silent would
+    // otherwise pin the dialog slot and its buffered packets forever.
+    for (const InDialog &dlg : in_)
+        if (dlg.active && now - dlg.lastProgress >= reclaimTimeout_ &&
+            peerSilent(dlg.src, now) && !isPeerDead(dlg.src))
+            stalled.push_back(dlg.src);
+    for (NodeId peer : stalled)
+        markPeerDead(peer, now, "reclaim timeout");
+}
+
+bool
+NifdyNic::isPeerDead(NodeId peer) const
+{
+    return std::find(deadPeers_.begin(), deadPeers_.end(), peer) !=
+           deadPeers_.end();
+}
+
+void
+NifdyNic::resurrectPeer(NodeId peer)
+{
+    auto it = std::find(deadPeers_.begin(), deadPeers_.end(), peer);
+    if (it != deadPeers_.end())
+        deadPeers_.erase(it);
+}
+
+void
+NifdyNic::markPeerDead(NodeId peer, Cycle now, const char *why)
+{
+    if (isPeerDead(peer))
+        return;
+    deadPeers_.push_back(peer);
+    // Subclass state first (retransmission snapshots and queues),
+    // then the base protocol state.
+    onPeerDead(peer, now);
+    abandoned_ +=
+        static_cast<std::uint64_t>(abandonPeer(peer, now));
+    warn("node %d: peer %d declared dead (%s) at cycle %llu; "
+         "discarding its traffic from here on",
+         node_, peer, why, static_cast<unsigned long long>(now));
+    noteActivity();
+}
+
+std::uint32_t
+NifdyNic::knownEpoch(NodeId peer) const
+{
+    auto it = peerEpoch_.find(peer);
+    return it == peerEpoch_.end() ? 0 : it->second;
 }
 
 int
@@ -113,6 +209,7 @@ NifdyNic::takeFromPool(std::size_t idx, Cycle now)
         pkt->seq = static_cast<std::int16_t>(out_.sentTotal %
                                              (2 * out_.window));
         ++out_.sentTotal;
+        out_.lastProgress = now;
         pkt->bulkRequest = false;
         if (pkt->bulkExit) {
             // Keep the dialog open across back-to-back transfers,
@@ -148,9 +245,11 @@ NifdyNic::takeFromPool(std::size_t idx, Cycle now)
             out_.requested = true;
             out_.peer = pkt->dst;
             out_.cls = pkt->netClass;
+            out_.lastProgress = now;
         }
     }
     opt_.push_back(pkt->dst);
+    optSince_.push_back(now);
     panic_if(static_cast<int>(opt_.size()) > cfg_.opt,
              "OPT overflow on node %d", node_);
     trace::onOptAdmit(*pkt, node_, now);
@@ -190,6 +289,7 @@ NifdyNic::nextToInject(NetClass cls, Cycle now)
                                              (2 * out_.window));
         pkt->createdAt = now;
         ++out_.sentTotal;
+        out_.lastProgress = now;
         out_.exitSent = true;
         out_.closePending = false;
         onDataInjected(pkt, now);
@@ -235,6 +335,7 @@ NifdyNic::tryPiggyback(Packet *pkt, Cycle now)
         pkt->ackRejectsBulk = ack->ackRejectsBulk;
         pkt->ackDialog = ack->ackDialog;
         pkt->ackWindow = ack->ackWindow;
+        pkt->ackEpoch = ack->ackEpoch;
         ackQueue_.erase(it);
         audit::onConsume(*ack, node_, "merged into piggyback header");
         pool_.release(ack);
@@ -253,6 +354,9 @@ NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
     ack->netClass = oppositeClass(dataPkt.netClass);
     ack->sizeBytes = cfg_.ackBytes;
     ack->createdAt = now;
+    // Echo the data's incarnation epoch so the sender's gate can
+    // discard acks answering a previous incarnation of itself.
+    ack->ackEpoch = dataPkt.srcEpoch;
 
     if (dataPkt.type == PacketType::scalar && dataPkt.bulkRequest &&
         cfg_.bulkEnabled()) {
@@ -266,8 +370,34 @@ NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
                 existing = i;
         }
         if (existing >= 0) {
-            // Only reachable with retransmitted (duplicate) request
-            // packets: re-grant the same dialog idempotently.
+            InDialog &d = in_[existing];
+            if (allowFreshGrant &&
+                (d.delivered > 0 || d.buffered > 0 ||
+                 d.exitDelivered)) {
+                // A fresh (non-duplicate) request for a dialog that
+                // already carried data: the sender's side of the
+                // dialog is gone (torn down after a crash/restart),
+                // so restart the transfer from index zero.
+                for (Packet *&slot : d.slots) {
+                    if (!slot)
+                        continue;
+                    audit::onDrop(*slot, node_,
+                                  "dialog restarted: slot discarded");
+                    trace::onDrop(*slot, node_, now,
+                                  "dialog restarted: slot discarded");
+                    pool_.release(slot);
+                    slot = nullptr;
+                }
+                d.delivered = 0;
+                d.ackedAt = 0;
+                d.buffered = 0;
+                d.exitDelivered = false;
+                d.lastProgress = now;
+                d.traceAckPending.clear();
+            }
+            // Re-grant the same dialog idempotently (duplicate
+            // request packets reach here too, with allowFreshGrant
+            // false, and must not disturb the live transfer).
             ack->ackGrantsBulk = true;
             ack->ackDialog = static_cast<std::int16_t>(existing);
             ack->ackWindow = static_cast<std::int16_t>(cfg_.window);
@@ -281,6 +411,7 @@ NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
             d.slots.assign(cfg_.window, nullptr);
             d.buffered = 0;
             d.exitDelivered = false;
+            d.lastProgress = now;
             ack->ackGrantsBulk = true;
             ack->ackDialog = static_cast<std::int16_t>(freeSlot);
             ack->ackWindow = static_cast<std::int16_t>(cfg_.window);
@@ -291,6 +422,96 @@ NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
         }
     }
     return ack;
+}
+
+Packet *
+NifdyNic::makeDialogReject(const Packet &bulkPkt, Cycle now)
+{
+    Packet *ack = pool_.alloc();
+    ack->type = PacketType::ack;
+    ack->src = node_;
+    ack->dst = bulkPkt.src;
+    ack->netClass = oppositeClass(bulkPkt.netClass);
+    ack->sizeBytes = cfg_.ackBytes;
+    ack->createdAt = now;
+    ack->ackRejectsBulk = true;
+    // ackSeq stays -1: the sender reads this as a scalar-form ack
+    // whose reject bit plus dialog number tears down the dialog.
+    ack->ackDialog = bulkPkt.dialog;
+    ack->ackEpoch = bulkPkt.srcEpoch;
+    return ack;
+}
+
+void
+NifdyNic::teardownOutDialog(Cycle now, const char *why)
+{
+    (void)why;
+    if (!out_.active && !out_.requested)
+        return;
+    NodeId peer = out_.peer;
+    out_ = OutDialog();
+    ++dialogTeardowns_;
+    onBulkTeardown(peer, now);
+    // Let a live (restarted) peer re-establish the transfer: the
+    // first still-queued packet for it re-requests a dialog.
+    for (PoolEntry &e : sendPool_) {
+        if (e.pkt->dst == peer && !e.pkt->noAck) {
+            e.pkt->bulkRequest = true;
+            break;
+        }
+    }
+    noteActivity();
+}
+
+int
+NifdyNic::dropInDialogsFrom(NodeId peer, Cycle now, const char *why)
+{
+    int released = 0;
+    for (InDialog &dlg : in_) {
+        if (!dlg.active || dlg.src != peer)
+            continue;
+        for (Packet *&slot : dlg.slots) {
+            if (!slot)
+                continue;
+            audit::onDrop(*slot, node_, why);
+            trace::onDrop(*slot, node_, now, why);
+            pool_.release(slot);
+            slot = nullptr;
+            ++released;
+        }
+        dlg = InDialog();
+        ++dialogTeardowns_;
+    }
+    return released;
+}
+
+void
+NifdyNic::onPeerRestart(NodeId peer, Cycle now)
+{
+    // Receive dialogs from the peer died with its old incarnation;
+    // buffered window slots are released as drops (never reached the
+    // processor) and the slot is freed for a fresh grant.
+    dropInDialogsFrom(peer, now, "peer restarted: dialog abandoned");
+    // A tombstone from the old incarnation must not final-ack the
+    // new incarnation's duplicates.
+    tombstones_.erase(peer);
+    if ((out_.active || out_.requested) && out_.peer == peer)
+        teardownOutDialog(now, "peer restarted");
+    noteActivity();
+}
+
+void
+NifdyNic::onBulkTeardown(NodeId peer, Cycle now)
+{
+    (void)peer;
+    (void)now;
+}
+
+void
+NifdyNic::onPeerDead(NodeId peer, Cycle now)
+{
+    (void)peer;
+    (void)now;
 }
 
 void
@@ -314,6 +535,7 @@ NifdyNic::clearOpt(NodeId dst)
     for (std::size_t i = 0; i < opt_.size(); ++i) {
         if (opt_[i] == dst) {
             opt_.erase(opt_.begin() + i);
+            optSince_.erase(optSince_.begin() + i);
             return true;
         }
     }
@@ -323,11 +545,12 @@ NifdyNic::clearOpt(NodeId dst)
 int
 NifdyNic::abandonPeer(NodeId peer, Cycle now)
 {
-    (void)now;
     int released = 0;
     clearOpt(peer);
     if ((out_.active || out_.requested) && out_.peer == peer)
-        out_ = OutDialog();
+        teardownOutDialog(now, "peer abandoned");
+    released +=
+        dropInDialogsFrom(peer, now, "peer dead: dialog abandoned");
     for (std::size_t i = sendPool_.size(); i > 0; --i) {
         Packet *p = sendPool_[i - 1].pkt;
         if (p->dst != peer)
@@ -367,8 +590,59 @@ NifdyNic::issueScalarAck(Packet *pkt, Cycle now)
 }
 
 void
+NifdyNic::rejectStaleEpoch(Packet *pkt, Cycle now, const char *why)
+{
+    if (pkt->type == PacketType::scalar)
+        consumeReservation(); // canAccept() claimed a FIFO slot
+    ++epochRejects_;
+    trace::onEpochReject(*pkt, node_, now);
+    audit::onDrop(*pkt, node_, why);
+    trace::onDrop(*pkt, node_, now, why);
+    pool_.release(pkt);
+    noteActivity();
+}
+
+bool
+NifdyNic::epochAdmit(Packet *pkt, Cycle now)
+{
+    // Data direction: the source's incarnation. Older than the
+    // latest seen means the packet was injected by a dead
+    // incarnation; newer means the peer restarted -- adopt the new
+    // epoch and resync every piece of per-peer state first.
+    std::uint32_t &known = peerEpoch_[pkt->src];
+    if (pkt->srcEpoch < known) {
+        rejectStaleEpoch(pkt, now, "stale incarnation epoch");
+        return false;
+    }
+    if (pkt->srcEpoch > known) {
+        known = pkt->srcEpoch;
+        onPeerRestart(pkt->src, now);
+    }
+    // Any valid arrival proves the peer is reachable again, and
+    // refreshes the reclaim liveness clock.
+    lastHeard_[pkt->src] = now;
+    resurrectPeer(pkt->src);
+
+    // Ack direction: an ack answering data injected by a previous
+    // incarnation of *this* node must not clear current state.
+    if (pkt->type == PacketType::ack && pkt->ackEpoch != epoch()) {
+        rejectStaleEpoch(pkt, now, "ack for a previous incarnation");
+        return false;
+    }
+    if (pkt->piggyAck && pkt->ackEpoch != epoch()) {
+        // Piggybacked stale ack: strip the ack, keep the data.
+        pkt->piggyAck = false;
+        ++epochRejects_;
+    }
+    return true;
+}
+
+void
 NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
+    if (!epochAdmit(pkt, now))
+        return;
+
     if (pkt->type == PacketType::ack) {
         applyAck(*pkt, now);
         audit::onConsume(*pkt, node_, "ack absorbed");
@@ -403,6 +677,25 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 
     // Bulk data packet: insert into the dialog's reorder window.
     int d = pkt->dialog;
+    if (expectPeerFailures_ && !bulkPacketAcceptable(*pkt)) {
+        // A crash/restart run legitimately produces bulk packets
+        // this incarnation has no dialog for (we restarted cold) or
+        // whose index predates a restarted transfer. Answer so the
+        // sender recovers instead of panicking.
+        const char *why;
+        if (bulkDialogMatches(*pkt)) {
+            reAckBulk(d, now);
+            why = "stale bulk index (restarted dialog)";
+        } else {
+            queueAck(makeDialogReject(*pkt, now));
+            why = "unknown bulk dialog (cold receiver)";
+        }
+        audit::onDrop(*pkt, node_, why);
+        trace::onDrop(*pkt, node_, now, why);
+        pool_.release(pkt);
+        noteActivity();
+        return;
+    }
     panic_if(d < 0 || d >= static_cast<int>(in_.size()),
              "bulk packet with bad dialog %d on node %d", d, node_);
     InDialog &dlg = in_[d];
@@ -416,6 +709,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
     int slot = static_cast<int>(pkt->bulkIndex % cfg_.window);
     panic_if(dlg.slots[slot] != nullptr,
              "bulk window slot collision on node %d", node_);
+    dlg.lastProgress = now;
     dlg.slots[slot] = pkt;
     ++dlg.buffered;
     drainDialog(d, now);
@@ -479,6 +773,7 @@ NifdyNic::maybeAckDialog(int d, Cycle now)
     ack->ackSeq = static_cast<std::int16_t>(
         (dlg.delivered + 2 * cfg_.window - 1) % (2 * cfg_.window));
     ack->ackTotal = dlg.delivered;
+    ack->ackEpoch = knownEpoch(dlg.src);
     dlg.ackedAt = dlg.delivered;
     queueAck(ack);
     for (std::uint64_t rootId : dlg.traceAckPending)
@@ -500,7 +795,12 @@ NifdyNic::applyAck(const Packet &ack, Cycle now)
 
     bool isBulkAck = ack.ackDialog >= 0 && ack.ackSeq >= 0;
     if (!isBulkAck) {
-        clearOpt(ack.src);
+        // A dialog-reject (reject bit plus a dialog number, no
+        // cumulative state) answers a bulk packet, not the
+        // outstanding scalar: it must not clear the OPT entry.
+        bool dialogReject = ack.ackRejectsBulk && ack.ackDialog >= 0;
+        if (!dialogReject)
+            clearOpt(ack.src);
         if (ack.ackGrantsBulk) {
             if (out_.requested && !out_.active &&
                 out_.peer == ack.src) {
@@ -511,6 +811,7 @@ NifdyNic::applyAck(const Packet &ack, Cycle now)
                 out_.sentTotal = 0;
                 out_.ackedTotal = 0;
                 out_.exitSent = false;
+                out_.lastProgress = now;
                 // If nothing is queued for the peer any more, the
                 // dialog must be explicitly closed again.
                 bool pending = false;
@@ -520,8 +821,12 @@ NifdyNic::applyAck(const Packet &ack, Cycle now)
                 out_.closePending = !pending;
             }
         } else if (ack.ackRejectsBulk) {
-            if (out_.requested && !out_.active &&
-                out_.peer == ack.src) {
+            if (dialogReject) {
+                if (out_.active && out_.peer == ack.src &&
+                    ack.ackDialog == out_.dialog)
+                    teardownOutDialog(now, "receiver lost the dialog");
+            } else if (out_.requested && !out_.active &&
+                       out_.peer == ack.src) {
                 out_.requested = false;
                 out_.peer = invalidNode;
             }
@@ -539,6 +844,7 @@ NifdyNic::applyAck(const Packet &ack, Cycle now)
     panic_if(ack.ackTotal > out_.sentTotal,
              "bulk ack beyond outstanding on node %d", node_);
     out_.ackedTotal = ack.ackTotal;
+    out_.lastProgress = now;
     if (out_.exitSent && out_.ackedTotal == out_.sentTotal)
         out_ = OutDialog();
 }
@@ -553,6 +859,35 @@ NifdyNic::onProcessorAccept(Packet *pkt, Cycle now)
     for (int d = 0; d < static_cast<int>(in_.size()); ++d)
         if (in_[d].active && in_[d].buffered > 0)
             drainDialog(d, now);
+}
+
+void
+NifdyNic::onCrash(Cycle now)
+{
+    // Fail-stop: every piece of protocol state dies with the node.
+    // Queued packets are released as crash drops; peers recover via
+    // their own retry caps, reclaim timeouts, and the epoch gate.
+    for (PoolEntry &e : sendPool_)
+        crashDiscard(e.pkt, now, "node crashed: pooled send discarded");
+    sendPool_.clear();
+    for (Packet *ack : ackQueue_)
+        crashDiscard(ack, now, "node crashed: queued ack discarded");
+    ackQueue_.clear();
+    opt_.clear();
+    optSince_.clear();
+    out_ = OutDialog();
+    for (InDialog &dlg : in_) {
+        for (Packet *&slot : dlg.slots)
+            if (slot)
+                crashDiscard(slot, now,
+                             "node crashed: window slot discarded");
+        dlg = InDialog();
+    }
+    tombstones_.clear();
+    peerEpoch_.clear();
+    lastHeard_.clear();
+    deadPeers_.clear();
+    poolOrder_ = 0;
 }
 
 void
@@ -622,6 +957,7 @@ NifdyNic::reAckBulk(int d, Cycle now)
     ack->ackSeq = static_cast<std::int16_t>(
         (dlg.delivered + 2 * cfg_.window - 1) % (2 * cfg_.window));
     ack->ackTotal = dlg.delivered;
+    ack->ackEpoch = knownEpoch(dlg.src);
     queueAck(ack);
 }
 

@@ -75,9 +75,30 @@ class NifdyNic : public Nic
 
     bool canSend(const Packet &pkt) const override;
     void send(Packet *pkt, Cycle now) override;
+    void step(Cycle now) override;
     bool transitIdle() const override;
 
     const NifdyConfig &config() const { return cfg_; }
+
+    /**
+     * Declare that endpoint faults (node crash/restart) are expected
+     * this run. Bulk packets for an unknown dialog are then answered
+     * with a dialog-reject ack and dropped instead of panicking --
+     * a restarted receiver legitimately forgets its dialogs.
+     */
+    void setExpectPeerFailures(bool v) { expectPeerFailures_ = v; }
+    bool expectPeerFailures() const { return expectPeerFailures_; }
+
+    /**
+     * Reclaim protocol state aimed at unresponsive peers: an OPT
+     * entry or outgoing bulk dialog with no ack progress for this
+     * many cycles declares the peer dead and purges everything
+     * directed at it (0 = never, the default). Must comfortably
+     * exceed the worst-case ack round trip, including any
+     * retransmission backoff, or live peers get reclaimed.
+     */
+    void setReclaimTimeout(Cycle t) { reclaimTimeout_ = t; }
+    Cycle reclaimTimeout() const { return reclaimTimeout_; }
 
     //! @name Introspection (tests)
     //! @{
@@ -140,6 +161,20 @@ class NifdyNic : public Nic
     std::uint64_t bulkGrants() const { return bulkGrants_; }
     std::uint64_t bulkRejects() const { return bulkRejects_; }
     std::uint64_t bulkPacketsSent() const { return bulkPacketsSent_; }
+    /** Arrivals rejected for carrying a stale incarnation epoch. */
+    std::uint64_t epochRejects() const { return epochRejects_; }
+    /** Bulk dialogs torn down mid-transfer (peer crash/restart). */
+    std::uint64_t dialogTeardowns() const { return dialogTeardowns_; }
+    //! @}
+
+    //! @name Dead-peer reporting (graceful degradation)
+    //! @{
+    const std::vector<NodeId> &deadPeers() const { return deadPeers_; }
+    bool isPeerDead(NodeId peer) const;
+    /** Queued packets purged when peers were declared dead. */
+    std::uint64_t packetsAbandoned() const { return abandoned_; }
+    /** Sends accepted-and-discarded because the peer is dead. */
+    std::uint64_t sendsToDeadPeers() const { return sendsToDeadPeers_; }
     //! @}
 
   protected:
@@ -147,6 +182,7 @@ class NifdyNic : public Nic
     bool canAccept(const Packet &pkt) override;
     void onPacketDelivered(Packet *pkt, Cycle now) override;
     void onProcessorAccept(Packet *pkt, Cycle now) override;
+    void onCrash(Cycle now) override;
 
     /**
      * Section 6.2 hooks: called when a data packet begins injection
@@ -155,6 +191,45 @@ class NifdyNic : public Nic
      */
     virtual void onDataInjected(Packet *pkt, Cycle now);
     virtual void onAckProcessed(const Packet &ack, Cycle now);
+
+    /**
+     * Endpoint-fault hooks. onPeerRestart fires when a packet from a
+     * higher incarnation of @p peer arrives (the base tears down
+     * receive dialogs from the peer and the outgoing dialog to it;
+     * the lossy subclass also resyncs its duplicate filter).
+     * onBulkTeardown fires when the outgoing bulk dialog to @p peer
+     * is abandoned (the lossy subclass purges its retransmission
+     * snapshots). onPeerDead fires when @p peer is declared dead,
+     * before the base purges its own state.
+     */
+    virtual void onPeerRestart(NodeId peer, Cycle now);
+    virtual void onBulkTeardown(NodeId peer, Cycle now);
+    virtual void onPeerDead(NodeId peer, Cycle now);
+
+    /**
+     * Declare @p peer dead (@p why quoted in the warning): purge
+     * every piece of state aimed at it and discard later sends to
+     * it. Idempotent. A valid arrival from the peer resurrects it.
+     */
+    void markPeerDead(NodeId peer, Cycle now, const char *why);
+    void resurrectPeer(NodeId peer);
+
+    /** Latest incarnation epoch seen from @p peer (0 if none). */
+    std::uint32_t knownEpoch(NodeId peer) const;
+
+    /**
+     * Build (but do not queue) an ack telling @p bulkPkt's sender
+     * that the dialog it is streaming into no longer exists here
+     * (this incarnation never granted it), so the sender tears it
+     * down and may re-request.
+     */
+    Packet *makeDialogReject(const Packet &bulkPkt, Cycle now);
+
+    /** Abandon the outgoing bulk dialog (if any) and notify the
+     * subclass via onBulkTeardown(). The first queued packet for the
+     * peer is re-marked as a bulk request so a live (restarted) peer
+     * re-establishes the transfer. */
+    void teardownOutDialog(Cycle now, const char *why);
 
     /**
      * Receiver-side dedup hook (Section 6.2); default accepts
@@ -207,6 +282,18 @@ class NifdyNic : public Nic
     int abandonPeer(NodeId peer, Cycle now);
 
     /**
+     * Tear down every receive dialog sourced by @p peer: buffered
+     * window slots are released as drops with @p why (they never
+     * reached the processor) and the slots are freed for fresh
+     * grants. Returns the number of packets released.
+     */
+    int dropInDialogsFrom(NodeId peer, Cycle now, const char *why);
+
+    /** Nothing valid has arrived from @p peer for reclaimTimeout_
+     * cycles (never-heard peers count as silent since cycle 0). */
+    bool peerSilent(NodeId peer, Cycle now) const;
+
+    /**
      * Build (but do not queue) an ack for @p dataPkt. When
      * @p allowFreshGrant is false (duplicate re-acks), a bulk
      * request without an existing dialog is rejected rather than
@@ -235,6 +322,10 @@ class NifdyNic : public Nic
     virtual bool eligibleScalar(const PoolEntry &e,
                                 std::size_t idx) const;
 
+    /** Packets released on behalf of dead peers (subclasses add
+     * their own purges, e.g. retransmission queues). */
+    std::uint64_t abandoned_ = 0;
+
   private:
     /** Sender-side state of the (single) outgoing bulk dialog. */
     struct OutDialog
@@ -251,6 +342,9 @@ class NifdyNic : public Nic
                                     //!< the wire seq is its mod-2W
                                     //!< compression
         std::int64_t ackedTotal = 0; //!< covered by cumulative acks
+        /** Last cycle the dialog advanced (request, grant, send, or
+         * ack progress); reclaimTimeout measures from here. */
+        Cycle lastProgress = 0;
 
         int unacked() const
         {
@@ -269,6 +363,9 @@ class NifdyNic : public Nic
         std::vector<Packet *> slots;   //!< W reorder buffers
         int buffered = 0;
         bool exitDelivered = false;
+        /** Last cycle the window was granted or advanced by an
+         * arrival; the receiver-side reclaim clock. */
+        Cycle lastProgress = 0;
         /** Root ids delivered since the last cumulative ack, kept
          * only while a Tracer is active so each bulk packet's chain
          * gets an explicit ack event. */
@@ -276,6 +373,18 @@ class NifdyNic : public Nic
     };
 
     Packet *takeFromPool(std::size_t idx, Cycle now);
+    /**
+     * Incarnation-epoch gate, run before any protocol processing.
+     * Returns false when @p pkt was rejected (and released): its
+     * source epoch is older than the latest seen, or it carries an
+     * ack answering a previous incarnation of this node. A higher
+     * source epoch is adopted and fires onPeerRestart() first.
+     */
+    bool epochAdmit(Packet *pkt, Cycle now);
+    /** Drop @p pkt as an epoch reject (counted, traced, released). */
+    void rejectStaleEpoch(Packet *pkt, Cycle now, const char *why);
+    /** Declare peers with reclaim-timeout-stale state dead. */
+    void reclaimStalled(Cycle now);
     /** Interpret @p ack's acknowledgment fields (standalone ack
      * packet or piggybacked data packet alike). */
     void applyAck(const Packet &ack, Cycle now);
@@ -290,16 +399,30 @@ class NifdyNic : public Nic
     std::vector<PoolEntry> sendPool_;
     std::uint64_t poolOrder_ = 0;
     std::vector<NodeId> opt_;
+    /** Cycle each OPT entry was created (parallel to opt_);
+     * reclaimTimeout measures from here. */
+    std::vector<Cycle> optSince_;
     std::deque<Packet *> ackQueue_;
     OutDialog out_;
     std::vector<InDialog> in_;
     std::map<NodeId, std::int64_t> tombstones_;
+    /** Latest incarnation epoch seen per peer. */
+    std::map<NodeId, std::uint32_t> peerEpoch_;
+    /** Cycle of the last valid arrival per peer: the reclaim
+     * liveness gate (a stalled-but-talking peer is not dead). */
+    std::map<NodeId, Cycle> lastHeard_;
+    std::vector<NodeId> deadPeers_;
+    Cycle reclaimTimeout_ = 0;
+    bool expectPeerFailures_ = false;
 
     std::uint64_t acksSent_ = 0;
     std::uint64_t acksPiggybacked_ = 0;
     std::uint64_t bulkGrants_ = 0;
     std::uint64_t bulkRejects_ = 0;
     std::uint64_t bulkPacketsSent_ = 0;
+    std::uint64_t epochRejects_ = 0;
+    std::uint64_t dialogTeardowns_ = 0;
+    std::uint64_t sendsToDeadPeers_ = 0;
 };
 
 } // namespace nifdy

@@ -51,6 +51,16 @@ BufferedNic::nextToInject(NetClass cls, Cycle now)
     return pkt;
 }
 
+void
+BufferedNic::onCrash(Cycle now)
+{
+    while (!sendQueue_.empty()) {
+        Packet *pkt = sendQueue_.front();
+        sendQueue_.pop_front();
+        crashDiscard(pkt, now, "node crashed: queued send discarded");
+    }
+}
+
 bool
 BufferedNic::canAccept(const Packet &pkt)
 {

@@ -40,6 +40,7 @@ class BufferedNic : public Nic
     Packet *nextToInject(NetClass cls, Cycle now) override;
     bool canAccept(const Packet &pkt) override;
     void onPacketDelivered(Packet *pkt, Cycle now) override;
+    void onCrash(Cycle now) override;
 
   private:
     int outQueue_;

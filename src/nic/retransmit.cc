@@ -50,44 +50,11 @@ LossyNifdyNic::transitIdle() const
     return NifdyNic::transitIdle();
 }
 
-bool
-LossyNifdyNic::isPeerDead(NodeId peer) const
-{
-    return std::find(deadPeers_.begin(), deadPeers_.end(), peer) !=
-           deadPeers_.end();
-}
-
 Cycle
 LossyNifdyNic::scalarRetxTimeout(NodeId dst) const
 {
     auto it = scalarRetx_.find(dst);
     return it == scalarRetx_.end() ? 0 : it->second.timeout;
-}
-
-bool
-LossyNifdyNic::canSend(const Packet &pkt) const
-{
-    // A dead peer accepts anything: send() discards it immediately,
-    // so the processor can keep making progress instead of spinning
-    // on a pool slot that will never clear.
-    if (isPeerDead(pkt.dst))
-        return true;
-    return NifdyNic::canSend(pkt);
-}
-
-void
-LossyNifdyNic::send(Packet *pkt, Cycle now)
-{
-    if (isPeerDead(pkt->dst)) {
-        (void)now;
-        ++sendsToDeadPeers_;
-        audit::onDrop(*pkt, node_, "peer dead: send discarded");
-        trace::onDrop(*pkt, node_, now, "peer dead: send discarded");
-        pool_.release(pkt);
-        noteActivity();
-        return;
-    }
-    NifdyNic::send(pkt, now);
 }
 
 Cycle
@@ -136,7 +103,7 @@ LossyNifdyNic::checkTimers(Cycle now)
     for (auto &kv : bulkRetx_)
         expire(kv.second);
     for (NodeId peer : exhausted)
-        declarePeerDead(peer, now);
+        markPeerDead(peer, now, "retry cap exhausted");
 }
 
 void
@@ -163,16 +130,14 @@ LossyNifdyNic::retransmit(Snapshot &snap, Cycle now)
 }
 
 void
-LossyNifdyNic::declarePeerDead(NodeId peer, Cycle now)
+LossyNifdyNic::purgeRetxState(NodeId peer, Cycle now, bool bulkOnly,
+                              const char *why)
 {
-    if (isPeerDead(peer))
-        return;
-    deadPeers_.push_back(peer);
-
-    // Drop the expired snapshots themselves (the packets they
-    // describe are already terminal in the audit's eyes: delivered,
-    // dropped in fabric, or still wedged behind a dead link).
-    scalarRetx_.erase(peer);
+    // Drop the snapshots themselves (the packets they describe are
+    // already terminal in the audit's eyes: delivered, dropped in
+    // fabric, or still wedged behind a dead link).
+    if (!bulkOnly)
+        scalarRetx_.erase(peer);
     for (auto it = bulkRetx_.begin(); it != bulkRetx_.end();) {
         if (it->second.copy.dst == peer)
             it = bulkRetx_.erase(it);
@@ -181,27 +146,59 @@ LossyNifdyNic::declarePeerDead(NodeId peer, Cycle now)
     }
     // Queued-but-not-injected retransmission clones for the peer.
     for (auto it = retxQueue_.begin(); it != retxQueue_.end();) {
-        if ((*it)->dst == peer) {
-            audit::onDrop(**it, node_,
-                          "peer dead: retransmission discarded");
-            trace::onDrop(**it, node_, now,
-                          "peer dead: retransmission discarded");
-            pool_.release(*it);
+        Packet *p = *it;
+        if (p->dst == peer &&
+            (!bulkOnly || p->type == PacketType::bulk)) {
+            audit::onDrop(*p, node_, why);
+            trace::onDrop(*p, node_, now, why);
+            pool_.release(p);
             it = retxQueue_.erase(it);
             ++abandoned_;
         } else {
             ++it;
         }
     }
-    // Base-protocol state: OPT entry, bulk dialog, queued sends.
-    abandoned_ +=
-        static_cast<std::uint64_t>(NifdyNic::abandonPeer(peer, now));
+}
 
-    warn("node %d: peer %d declared dead after %d retries "
-         "(cycle %llu); discarding its traffic from here on",
-         node_, peer, lossy_.maxRetries,
-         static_cast<unsigned long long>(now));
-    noteActivity();
+void
+LossyNifdyNic::onPeerDead(NodeId peer, Cycle now)
+{
+    purgeRetxState(peer, now, false,
+                   "peer dead: retransmission discarded");
+}
+
+void
+LossyNifdyNic::onBulkTeardown(NodeId peer, Cycle now)
+{
+    // The dialog's unacked window can never be acked now; its
+    // snapshots and queued clones go. The scalar timer (if any)
+    // stays: the peer may still be alive and answer it.
+    purgeRetxState(peer, now, true,
+                   "dialog torn down: retransmission discarded");
+}
+
+void
+LossyNifdyNic::onPeerRestart(NodeId peer, Cycle now)
+{
+    // The restarted incarnation's scalar stream starts over; our
+    // receive-side duplicate filter must not compare its fresh
+    // indices against the dead incarnation's high-water mark.
+    recvScalarIdx_.erase(peer);
+    NifdyNic::onPeerRestart(peer, now);
+}
+
+void
+LossyNifdyNic::onCrash(Cycle now)
+{
+    scalarRetx_.clear();
+    bulkRetx_.clear();
+    sendScalarIdx_.clear();
+    recvScalarIdx_.clear();
+    for (Packet *p : retxQueue_)
+        crashDiscard(p, now,
+                     "node crashed: retransmission discarded");
+    retxQueue_.clear();
+    NifdyNic::onCrash(now);
 }
 
 Packet *
@@ -286,6 +283,10 @@ LossyNifdyNic::onAckProcessed(const Packet &ack, Cycle now)
 {
     bool isBulkAck = ack.ackDialog >= 0 && ack.ackSeq >= 0;
     if (!isBulkAck) {
+        // A dialog-reject answers a bulk packet, not the outstanding
+        // scalar: its timer must keep running.
+        if (ack.ackRejectsBulk && ack.ackDialog >= 0)
+            return;
         auto it = scalarRetx_.find(ack.src);
         if (it != scalarRetx_.end()) {
             if (it->second.retries > 0)
@@ -330,6 +331,14 @@ LossyNifdyNic::isDuplicate(Packet &pkt, Cycle now)
             reAckBulk(pkt.dialog, now);
             return true;
         }
+        std::int64_t tomb = dialogTombstone(pkt.src);
+        if (tomb <= 0) {
+            // No record of this dialog at all: this incarnation
+            // never granted it (we restarted cold, or the sender is
+            // confused). Tell it to tear the dialog down.
+            queueAck(makeDialogReject(pkt, now));
+            return true;
+        }
         // Late duplicate for a dialog that has been closed (or its
         // slot reused by another sender): repeat the final ack from
         // the tombstone so the sender can finish closing.
@@ -342,7 +351,8 @@ LossyNifdyNic::isDuplicate(Packet &pkt, Cycle now)
         ack->createdAt = now;
         ack->ackDialog = pkt.dialog;
         ack->ackSeq = pkt.seq;
-        ack->ackTotal = dialogTombstone(pkt.src);
+        ack->ackTotal = tomb;
+        ack->ackEpoch = pkt.srcEpoch;
         queueAck(ack);
         return true;
     }

@@ -75,8 +75,6 @@ class LossyNifdyNic : public NifdyNic
 
     void step(Cycle now) override;
     bool transitIdle() const override;
-    bool canSend(const Packet &pkt) const override;
-    void send(Packet *pkt, Cycle now) override;
 
     //! @name Recovery statistics
     //! @{
@@ -85,22 +83,12 @@ class LossyNifdyNic : public NifdyNic
     std::uint64_t duplicatesSeen() const { return duplicatesSeen_; }
     /** Packets discarded by the CRC check (in-fabric corruption). */
     std::uint64_t corruptDropped() const { return corruptDropped_; }
-    /** Queued packets purged when peers were declared dead. */
-    std::uint64_t packetsAbandoned() const { return abandoned_; }
-    /** Sends accepted-and-discarded because the peer is dead. */
-    std::uint64_t sendsToDeadPeers() const { return sendsToDeadPeers_; }
     /** Cycles from first transmission to the clearing ack, sampled
      * for every packet that needed at least one retransmission. */
     const Distribution &recoveryLatency() const
     {
         return recoveryLatency_;
     }
-    //! @}
-
-    //! @name Dead-peer reporting (graceful degradation)
-    //! @{
-    const std::vector<NodeId> &deadPeers() const { return deadPeers_; }
-    bool isPeerDead(NodeId peer) const;
     //! @}
 
     /** Current re-arm timeout of @p dst's scalar snapshot, or 0 when
@@ -113,6 +101,10 @@ class LossyNifdyNic : public NifdyNic
     void onDataInjected(Packet *pkt, Cycle now) override;
     void onAckProcessed(const Packet &ack, Cycle now) override;
     bool isDuplicate(Packet &pkt, Cycle now) override;
+    void onCrash(Cycle now) override;
+    void onPeerRestart(NodeId peer, Cycle now) override;
+    void onBulkTeardown(NodeId peer, Cycle now) override;
+    void onPeerDead(NodeId peer, Cycle now) override;
 
   private:
     struct Snapshot
@@ -134,7 +126,11 @@ class LossyNifdyNic : public NifdyNic
     void rearm(Snapshot &snap, Cycle now);
     /** @p t spread by +-jitterFrac/2 (seeded, deterministic). */
     Cycle jittered(Cycle t);
-    void declarePeerDead(NodeId peer, Cycle now);
+    /** Purge retransmission state aimed at @p peer. When @p bulkOnly
+     * only the bulk dialog's snapshots and clones go (dialog
+     * teardown keeps the scalar timer alive). */
+    void purgeRetxState(NodeId peer, Cycle now, bool bulkOnly,
+                        const char *why);
 
     LossyConfig lossy_;
     Rng dropRng_;
@@ -148,14 +144,11 @@ class LossyNifdyNic : public NifdyNic
     /** Receiver-side last accepted scalar index per source. */
     std::map<NodeId, std::int64_t> recvScalarIdx_;
     std::deque<Packet *> retxQueue_;
-    std::vector<NodeId> deadPeers_;
 
     std::uint64_t retransmissions_ = 0;
     std::uint64_t packetsDropped_ = 0;
     std::uint64_t duplicatesSeen_ = 0;
     std::uint64_t corruptDropped_ = 0;
-    std::uint64_t abandoned_ = 0;
-    std::uint64_t sendsToDeadPeers_ = 0;
     Distribution recoveryLatency_{"recoveryLatency"};
 };
 

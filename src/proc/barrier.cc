@@ -7,7 +7,7 @@ namespace nifdy
 
 Barrier::Barrier(int numNodes, Cycle latency)
     : numNodes_(numNodes), latency_(latency),
-      nodeGen_(numNodes, -1)
+      nodeGen_(numNodes, -1), excused_(numNodes, false)
 {
     panic_if(numNodes_ < 1, "barrier needs participants");
 }
@@ -16,6 +16,8 @@ void
 Barrier::arrive(NodeId n, Cycle now)
 {
     panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
+    if (excused_[n])
+        return; // free-runner: virtually arrived already
     panic_if(nodeGen_[n] >= generation_,
              "node %d arrived twice at barrier generation %d", n,
              generation_);
@@ -23,6 +25,24 @@ Barrier::arrive(NodeId n, Cycle now)
     ++arrivedCount_;
     if (arrivedCount_ == numNodes_)
         releaseAt_ = now + latency_;
+}
+
+void
+Barrier::excuse(NodeId n, Cycle now)
+{
+    panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
+    if (excused_[n])
+        return;
+    excused_[n] = true;
+    ++excusedCount_;
+    // If the node had not yet arrived at the current generation, it
+    // arrives virtually now -- possibly completing the barrier for
+    // everyone still waiting on it.
+    if (nodeGen_[n] < generation_) {
+        ++arrivedCount_;
+        if (arrivedCount_ == numNodes_)
+            releaseAt_ = now + latency_;
+    }
 }
 
 bool
@@ -34,6 +54,9 @@ Barrier::arrived(NodeId n) const
 bool
 Barrier::released(NodeId n, Cycle now)
 {
+    // Excused (crashed) nodes never block and are never blocked.
+    if (excused_[n])
+        return true;
     // A node that has not arrived at the current generation was
     // released from every earlier one.
     if (nodeGen_[n] < generation_)
@@ -42,9 +65,10 @@ Barrier::released(NodeId n, Cycle now)
         return false;
     // Everyone is past the release point: the first observer
     // advances the generation; later observers see an older
-    // arrival generation and fall through above.
+    // arrival generation and fall through above. Excused nodes are
+    // virtually arrived at the new generation from the start.
     generation_ += 1;
-    arrivedCount_ = 0;
+    arrivedCount_ = excusedCount_;
     releaseAt_ = neverCycle;
     return true;
 }

@@ -33,6 +33,17 @@ class Barrier
     /** May node @p n proceed past the barrier it arrived at? */
     bool released(NodeId n, Cycle now);
 
+    /**
+     * Permanently excuse node @p n (it crashed): it counts as
+     * arrived at this and every later generation, so the survivors'
+     * barriers keep releasing. A restarted node stays excused -- it
+     * rejoins as a free-runner that no barrier ever blocks.
+     */
+    void excuse(NodeId n, Cycle now);
+
+    /** Is node @p n permanently excused? */
+    bool excused(NodeId n) const { return excused_[n]; }
+
     /** Completed barrier episodes. */
     int generation() const { return generation_; }
 
@@ -46,6 +57,9 @@ class Barrier
     Cycle releaseAt_ = neverCycle;
     /** Generation at which each node last arrived. */
     std::vector<int> nodeGen_;
+    /** Permanently excused (crashed) nodes. */
+    std::vector<bool> excused_;
+    int excusedCount_ = 0;
 };
 
 } // namespace nifdy

@@ -108,6 +108,19 @@ MessageLayer::pump(Cycle now)
     return true;
 }
 
+void
+MessageLayer::crashReset(Cycle now)
+{
+    (void)now;
+    if (staged_) {
+        // Never injected, so the audit never saw it: a plain release
+        // keeps the pool conservation check honest.
+        pool_.release(staged_);
+        staged_ = nullptr;
+    }
+    queue_.clear();
+}
+
 int
 MessageLayer::accept(Packet *pkt, Cycle now)
 {

@@ -79,6 +79,13 @@ class MessageLayer
     {
         return static_cast<int>(queue_.size()) + (staged_ ? 1 : 0);
     }
+
+    /**
+     * The node crashed: release the staged packet (it would leak
+     * otherwise -- built but never handed to the NIC) and forget the
+     * outgoing queue. A restarted node's application starts cold.
+     */
+    void crashReset(Cycle now);
     //! @}
 
     //! @name Receiving

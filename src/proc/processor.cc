@@ -12,8 +12,18 @@ Processor::Processor(NodeId id, Nic &nic, const ProcParams &params)
 }
 
 void
+Processor::setOffline(bool offline, Cycle now)
+{
+    offline_ = offline;
+    if (offline)
+        busyUntil_ = now; // whatever it was computing dies with it
+}
+
+void
 Processor::step(Cycle now)
 {
+    if (offline_)
+        return;
     if (busy(now)) {
         if (kernel_)
             kernel_->noteActivity();

@@ -35,6 +35,16 @@ class Processor : public Steppable
     /** Attach the workload driving this processor (non-owning). */
     void setWorkload(Workload *w) { workload_ = w; }
 
+    /**
+     * Take the processor offline (its node crashed) or bring it
+     * back. Offline processors tick nothing and charge nothing; any
+     * in-progress busy time is forfeit.
+     */
+    void setOffline(bool offline, Cycle now);
+
+    /** Is the processor offline (node down)? */
+    bool offline() const { return offline_; }
+
     NodeId id() const { return id_; }
     Nic &nic() { return nic_; }
     const ProcParams &params() const { return params_; }
@@ -82,6 +92,7 @@ class Processor : public Steppable
     ProcParams params_;
     Workload *workload_ = nullptr;
     Kernel *kernel_ = nullptr;
+    bool offline_ = false;
     Cycle busyUntil_ = 0;
     std::uint64_t cyclesBusy_ = 0;
     std::uint64_t sends_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
@@ -108,6 +109,22 @@ void
 InvariantChecker::onRelease(const Packet &pkt)
 {
     (void)pkt;
+}
+
+void
+InvariantChecker::onNodeCrash(NodeId node, Cycle now)
+{
+    (void)node;
+    (void)now;
+}
+
+void
+InvariantChecker::onNodeRestart(NodeId node, std::uint32_t epoch,
+                                Cycle now)
+{
+    (void)node;
+    (void)epoch;
+    (void)now;
 }
 
 void
@@ -472,6 +489,70 @@ class FaultDisciplineChecker : public InvariantChecker
     }
 };
 
+/**
+ * Incarnation-epoch discipline: crashes and restarts may only happen
+ * under an active endpoint fault plan (Audit::setExpectNodeFaults),
+ * crash/restart events must alternate per node, each restart must
+ * bump the node's epoch by exactly one, and every packet a node
+ * injects must be stamped with that node's current epoch -- a stale
+ * stamp means crash cleanup missed a buffered packet.
+ */
+class EpochDisciplineChecker : public InvariantChecker
+{
+  public:
+    const char *name() const override { return "epoch-discipline"; }
+
+    void
+    onNodeCrash(NodeId node, Cycle now) override
+    {
+        if (!audit()->expectNodeFaults())
+            fail("node " + std::to_string(node) + " crashed at cycle " +
+                 std::to_string(now) + " with no node-fault plan active");
+        if (down_.count(node))
+            fail("node " + std::to_string(node) +
+                 " crashed while already down");
+        down_.insert(node);
+    }
+
+    void
+    onNodeRestart(NodeId node, std::uint32_t epoch, Cycle now) override
+    {
+        (void)now;
+        if (!down_.count(node))
+            fail("node " + std::to_string(node) +
+                 " restarted while alive");
+        down_.erase(node);
+        std::uint32_t expected = epochOf_[node] + 1;
+        if (epoch != expected)
+            fail("node " + std::to_string(node) +
+                 " restarted into epoch " + std::to_string(epoch) +
+                 ", expected " + std::to_string(expected));
+        epochOf_[node] = epoch;
+    }
+
+    void
+    onInject(const Packet &pkt, NodeId node) override
+    {
+        if (pkt.src != node)
+            return; // forwarded/ack traffic stamps its own source
+        auto it = epochOf_.find(node);
+        std::uint32_t expected = it == epochOf_.end() ? 0 : it->second;
+        if (pkt.srcEpoch != expected)
+            fail(pkt, "node " + std::to_string(node) +
+                          " injected a packet stamped epoch " +
+                          std::to_string(pkt.srcEpoch) +
+                          ", node is in epoch " +
+                          std::to_string(expected));
+        if (down_.count(node))
+            fail(pkt, "node " + std::to_string(node) +
+                          " injected a packet while crashed");
+    }
+
+  private:
+    std::set<NodeId> down_;
+    std::unordered_map<NodeId, std::uint32_t> epochOf_;
+};
+
 std::vector<Audit *> &
 auditStack()
 {
@@ -555,6 +636,7 @@ Audit::installStandardCheckers(bool expectInOrder)
     add(std::make_unique<OptDisciplineChecker>());
     add(std::make_unique<CapacityChecker>());
     add(std::make_unique<FaultDisciplineChecker>());
+    add(std::make_unique<EpochDisciplineChecker>());
     if (expectInOrder)
         add(std::make_unique<DeliveryOrderChecker>());
 }
@@ -685,6 +767,24 @@ Audit::release(const Packet &pkt)
         c->onRelease(pkt);
     ++eventsSeen_;
     trails_->events.erase(pkt.id);
+}
+
+void
+Audit::nodeCrash(NodeId node, Cycle now)
+{
+    ++eventsSeen_;
+    ++nodeCrashes_;
+    for (auto &c : checkers_)
+        c->onNodeCrash(node, now);
+}
+
+void
+Audit::nodeRestart(NodeId node, std::uint32_t epoch, Cycle now)
+{
+    ++eventsSeen_;
+    ++nodeRestarts_;
+    for (auto &c : checkers_)
+        c->onNodeRestart(node, epoch, now);
 }
 
 void

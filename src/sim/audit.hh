@@ -92,6 +92,11 @@ class InvariantChecker
      * carry its provenance). */
     virtual void onRetransmit(const Packet &pkt, NodeId node);
     virtual void onRelease(const Packet &pkt);
+    /** Node @p node fail-stopped at cycle @p now. */
+    virtual void onNodeCrash(NodeId node, Cycle now);
+    /** Node @p node came back cold with incarnation @p epoch. */
+    virtual void onNodeRestart(NodeId node, std::uint32_t epoch,
+                               Cycle now);
     //! @}
 
     /** The Audit this checker is registered with (set on add()). */
@@ -175,6 +180,8 @@ class Audit
     void corrupt(const Packet &pkt, int routerId);
     void retransmit(const Packet &pkt, NodeId node);
     void release(const Packet &pkt);
+    void nodeCrash(NodeId node, Cycle now);
+    void nodeRestart(NodeId node, std::uint32_t epoch, Cycle now);
     //! @}
 
     /**
@@ -186,11 +193,19 @@ class Audit
     void setExpectFaults(bool expect) { expectFaults_ = expect; }
     bool expectFaults() const { return expectFaults_; }
 
+    /** Declare that an endpoint fault plan is active this run. While
+     * false, the epoch-discipline checker treats any node crash or
+     * restart as a simulator bug. */
+    void setExpectNodeFaults(bool expect) { expectNodeFaults_ = expect; }
+    bool expectNodeFaults() const { return expectNodeFaults_; }
+
     //! @name Fault-aware accounting
     //! @{
     std::uint64_t fabricDrops() const { return fabricDrops_; }
     std::uint64_t corruptions() const { return corruptions_; }
     std::uint64_t retransmits() const { return retransmits_; }
+    std::uint64_t nodeCrashes() const { return nodeCrashes_; }
+    std::uint64_t nodeRestarts() const { return nodeRestarts_; }
     //! @}
 
     /** Run every checker's polled check; the Kernel calls this after
@@ -218,9 +233,12 @@ class Audit
     std::unique_ptr<Trail> trails_;
     std::uint64_t eventsSeen_ = 0;
     bool expectFaults_ = false;
+    bool expectNodeFaults_ = false;
     std::uint64_t fabricDrops_ = 0;
     std::uint64_t corruptions_ = 0;
     std::uint64_t retransmits_ = 0;
+    std::uint64_t nodeCrashes_ = 0;
+    std::uint64_t nodeRestarts_ = 0;
 };
 
 /**
@@ -339,6 +357,25 @@ onRelease(const Packet &pkt)
     if (Audit *a = sink())
         a->release(pkt);
     (void)pkt;
+}
+
+inline void
+onNodeCrash(NodeId node, Cycle now)
+{
+    if (Audit *a = sink())
+        a->nodeCrash(node, now);
+    (void)node;
+    (void)now;
+}
+
+inline void
+onNodeRestart(NodeId node, std::uint32_t epoch, Cycle now)
+{
+    if (Audit *a = sink())
+        a->nodeRestart(node, epoch, now);
+    (void)node;
+    (void)epoch;
+    (void)now;
 }
 
 } // namespace audit

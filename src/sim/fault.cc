@@ -1,5 +1,6 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "net/packet.hh"
@@ -182,6 +183,172 @@ FaultPlan::toString() const
         os << " randomDown=" << randomDownLinks << "@"
            << randomDownFrom << "+" << randomDownFor;
     return os.str();
+}
+
+//===------------------------------------------------------------===//
+// NodeFaultPlan
+//===------------------------------------------------------------===//
+
+bool
+NodeFaultPlan::active() const
+{
+    return !crashes.empty() || randomCrashes > 0;
+}
+
+void
+NodeFaultPlan::validate() const
+{
+    fatal_if(randomCrashes < 0, "node.randomCrashes must be >= 0");
+    fatal_if(randomCrashes > 0 && randomCrashSpan < 1,
+             "node.crashSpan must be >= 1 when node.randomCrashes "
+             "is set");
+    for (const NodeFault &nf : crashes) {
+        fatal_if(nf.node < 0, "node.crash: negative node id");
+        fatal_if(nf.restartAt != 0 && nf.restartAt <= nf.crashAt,
+                 "node.crash: node %d restart at %llu not after its "
+                 "crash at %llu",
+                 nf.node,
+                 static_cast<unsigned long long>(nf.restartAt),
+                 static_cast<unsigned long long>(nf.crashAt));
+        for (const NodeFault &other : crashes)
+            fatal_if(&nf != &other && nf.node == other.node,
+                     "node.crash: node %d scheduled to crash twice",
+                     nf.node);
+    }
+}
+
+NodeFaultPlan
+NodeFaultPlan::fromConfig(const Config &conf)
+{
+    NodeFaultPlan plan;
+    plan.randomCrashes =
+        static_cast<int>(conf.getInt("node.randomCrashes", 0));
+    plan.randomCrashFrom =
+        static_cast<Cycle>(conf.getInt("node.crashFrom", 0));
+    plan.randomCrashSpan =
+        static_cast<Cycle>(conf.getInt("node.crashSpan", 0));
+    plan.randomRestartAfter =
+        static_cast<Cycle>(conf.getInt("node.restartAfter", 0));
+    plan.seed =
+        static_cast<std::uint64_t>(conf.getInt("node.seed", 0));
+
+    for (const std::string &spec :
+         splitList(conf.getString("node.crash", ""))) {
+        std::vector<long> ids;
+        NodeFault nf;
+        Cycle until = 0;
+        parseWindowSpec(spec, "node.crash", ids, nf.crashAt, until);
+        fatal_if(ids.size() != 1,
+                 "node.crash: want one node id in '%s'",
+                 spec.c_str());
+        nf.node = static_cast<NodeId>(ids[0]);
+        nf.restartAt = until; // 0 = never restarts
+        plan.crashes.push_back(nf);
+    }
+    plan.validate();
+    return plan;
+}
+
+std::vector<NodeFault>
+NodeFaultPlan::compile(int numNodes,
+                       std::uint64_t experimentSeed) const
+{
+    validate();
+    std::vector<NodeFault> out = crashes;
+    std::vector<bool> doomed(static_cast<std::size_t>(numNodes),
+                             false);
+    for (const NodeFault &nf : out) {
+        fatal_if(nf.node >= numNodes,
+                 "node.crash: node %d out of range [0, %d)", nf.node,
+                 numNodes);
+        doomed[static_cast<std::size_t>(nf.node)] = true;
+    }
+    if (randomCrashes > 0) {
+        int alive = 0;
+        for (int n = 0; n < numNodes; ++n)
+            alive += doomed[static_cast<std::size_t>(n)] ? 0 : 1;
+        fatal_if(randomCrashes > alive,
+                 "node.randomCrashes: %d exceeds the %d nodes not "
+                 "already scheduled",
+                 randomCrashes, alive);
+        Rng pick(seed ? seed : experimentSeed, 0xdead);
+        for (int i = 0; i < randomCrashes; ++i) {
+            NodeId victim;
+            do {
+                victim = static_cast<NodeId>(pick.nextBounded(
+                    static_cast<std::uint64_t>(numNodes)));
+            } while (doomed[static_cast<std::size_t>(victim)]);
+            doomed[static_cast<std::size_t>(victim)] = true;
+            NodeFault nf;
+            nf.node = victim;
+            nf.crashAt = randomCrashFrom +
+                         static_cast<Cycle>(pick.nextBounded(
+                             static_cast<std::uint64_t>(
+                                 randomCrashSpan)));
+            nf.restartAt = randomRestartAfter
+                               ? nf.crashAt + randomRestartAfter
+                               : 0;
+            out.push_back(nf);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NodeFault &a, const NodeFault &b) {
+                  return a.crashAt != b.crashAt
+                             ? a.crashAt < b.crashAt
+                             : a.node < b.node;
+              });
+    return out;
+}
+
+std::string
+NodeFaultPlan::toString() const
+{
+    std::ostringstream os;
+    os << "node fault plan: explicit=" << crashes.size();
+    if (randomCrashes > 0)
+        os << " random=" << randomCrashes << "@" << randomCrashFrom
+           << "+" << randomCrashSpan << " restartAfter="
+           << randomRestartAfter;
+    return os.str();
+}
+
+//===------------------------------------------------------------===//
+// NodeFaultDriver
+//===------------------------------------------------------------===//
+
+NodeFaultDriver::NodeFaultDriver(const NodeFaultPlan &plan,
+                                 int numNodes,
+                                 std::uint64_t experimentSeed,
+                                 Handler handler)
+    : schedule_(plan.compile(numNodes, experimentSeed)),
+      handler_(std::move(handler))
+{
+    panic_if(!handler_, "NodeFaultDriver needs a handler");
+    for (const NodeFault &nf : schedule_) {
+        events_.push_back({nf.crashAt, nf.node, false});
+        if (nf.restartAt)
+            events_.push_back({nf.restartAt, nf.node, true});
+    }
+    std::sort(events_.begin(), events_.end(),
+              [](const Event &a, const Event &b) {
+                  return a.at != b.at ? a.at < b.at
+                                      : a.node < b.node;
+              });
+    firedAll_ = events_.empty();
+}
+
+void
+NodeFaultDriver::step(Cycle now)
+{
+    while (next_ < events_.size() && events_[next_].at <= now) {
+        const Event &ev = events_[next_++];
+        if (ev.restart)
+            ++restartsFired_;
+        else
+            ++crashesFired_;
+        handler_(ev.node, ev.restart, now);
+    }
+    firedAll_ = next_ == events_.size();
 }
 
 //===------------------------------------------------------------===//

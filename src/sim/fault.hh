@@ -31,11 +31,13 @@
 #ifndef NIFDY_SIM_FAULT_HH
 #define NIFDY_SIM_FAULT_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/kernel.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -117,6 +119,114 @@ struct FaultPlan
 
     /** One-line human-readable summary. */
     std::string toString() const;
+};
+
+/** One endpoint failure: @p node fail-stops at @p crashAt; when
+ * restartAt != 0 it comes back at restartAt with cold NIC state and
+ * a bumped incarnation epoch. restartAt == 0 means it stays dead. */
+struct NodeFault
+{
+    NodeId node = invalidNode;
+    Cycle crashAt = 0;
+    Cycle restartAt = 0;
+};
+
+/**
+ * The endpoint fault domain: which nodes fail-stop during one run,
+ * and whether/when they restart. The fabric counterpart above keeps
+ * links honest; this plan kills whole endpoints. Explicit schedules
+ * come from node.crash specs; random schedules pick distinct victims
+ * deterministically from (node.seed, experiment seed).
+ */
+struct NodeFaultPlan
+{
+    /** Explicit crash schedule (node.crash=NODE@FROM[+DUR], DUR
+     * cycles of downtime before the restart; no +DUR = permanent). */
+    std::vector<NodeFault> crashes;
+
+    /** Additionally crash this many distinct random nodes... */
+    int randomCrashes = 0;
+    /** ...at cycles drawn uniformly from [crashFrom, crashFrom +
+     * crashSpan)... */
+    Cycle randomCrashFrom = 0;
+    Cycle randomCrashSpan = 0;
+    /** ...each restarting after this much downtime (0 = stay dead). */
+    Cycle randomRestartAfter = 0;
+
+    /** Endpoint-fault RNG seed; 0 = derive from the experiment seed. */
+    std::uint64_t seed = 0;
+
+    /** Does this plan crash anyone at all? */
+    bool active() const;
+
+    /** Fatal on malformed schedules (double crash of one node,
+     * restart before crash, random crashes without a span). */
+    void validate() const;
+
+    /**
+     * Parse the node.* keys of @p conf:
+     *   node.crash=NODE@FROM[+DUR][,...]
+     *   node.randomCrashes node.crashFrom node.crashSpan
+     *   node.restartAfter node.seed
+     * Absent keys keep their defaults (an empty plan).
+     */
+    static NodeFaultPlan fromConfig(const Config &conf);
+
+    /**
+     * Resolve the plan against @p numNodes nodes: bounds-check the
+     * explicit schedule, draw the random one, and return the full
+     * crash list sorted by crash cycle. Deterministic for a given
+     * (plan, effective seed).
+     */
+    std::vector<NodeFault> compile(int numNodes,
+                                   std::uint64_t experimentSeed) const;
+
+    /** One-line human-readable summary. */
+    std::string toString() const;
+};
+
+/**
+ * Executes a compiled NodeFaultPlan: a Steppable that fires the
+ * crash/restart handler at the scheduled cycles. The handler (wired
+ * by the harness) owns the actual teardown -- NIC crash/restart,
+ * processor offlining, barrier excusal, audit/trace/metric events --
+ * so the driver stays free of component knowledge.
+ */
+class NodeFaultDriver : public Steppable
+{
+  public:
+    /** Called once per event; @p restart false = crash, true =
+     * restart of a previously crashed node. */
+    using Handler = std::function<void(NodeId, bool, Cycle)>;
+
+    NodeFaultDriver(const NodeFaultPlan &plan, int numNodes,
+                    std::uint64_t experimentSeed, Handler handler);
+
+    void step(Cycle now) override;
+
+    /** The resolved schedule (sorted by crash cycle). */
+    const std::vector<NodeFault> &schedule() const { return schedule_; }
+
+    int crashesFired() const { return crashesFired_; }
+    int restartsFired() const { return restartsFired_; }
+    /** Every scheduled event has fired. */
+    bool exhausted() const { return firedAll_; }
+
+  private:
+    struct Event
+    {
+        Cycle at = 0;
+        NodeId node = invalidNode;
+        bool restart = false;
+    };
+
+    std::vector<NodeFault> schedule_;
+    std::vector<Event> events_; //!< sorted by cycle
+    std::size_t next_ = 0;
+    Handler handler_;
+    int crashesFired_ = 0;
+    int restartsFired_ = 0;
+    bool firedAll_ = false;
 };
 
 /**

@@ -61,8 +61,20 @@ inline constexpr const char *windowAdmit = "nifdy.window.admit";
 inline constexpr const char *routerHop = "router.packet.hop";
 inline constexpr const char *fabricDrop = "fabric.packet.drop";
 inline constexpr const char *fabricCorrupt = "fabric.packet.corrupt";
+inline constexpr const char *epochReject = "nic.epoch.reject";
+inline constexpr const char *nodeCrash = "node.crash";
+inline constexpr const char *nodeRestart = "node.restart";
 
 } // namespace ev
+
+/** Async chain id for one node's crash/restart lifecycle. Packet
+ * root ids grow from 1; the high bit keeps the spaces disjoint. */
+inline std::uint64_t
+nodeChainId(NodeId node)
+{
+    return (std::uint64_t(1) << 62) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(node));
+}
 
 /** Runtime knobs (CLI: trace.path / trace.sampleRate / ...). */
 struct TraceConfig
@@ -319,6 +331,40 @@ onFabricCorrupt(const Packet &pkt, int routerId, Cycle now)
         t->packetEvent(ev::fabricCorrupt, pkt, now, routerId);
     (void)pkt;
     (void)routerId;
+    (void)now;
+}
+
+/** Stale-incarnation rejection: @p pkt carries an epoch the receiver
+ * no longer (or does not yet) honors. The matching nic.packet.drop
+ * on the same chain keeps the lifecycle terminal. */
+inline void
+onEpochReject(const Packet &pkt, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->packetEvent(ev::epochReject, pkt, now, node);
+    (void)pkt;
+    (void)node;
+    (void)now;
+}
+
+/** Endpoint fail-stop; chains with the node's restart (if any) via
+ * nodeChainId(). */
+inline void
+onNodeCrash(NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->idEvent(ev::nodeCrash, nodeChainId(node), now, node);
+    (void)node;
+    (void)now;
+}
+
+inline void
+onNodeRestart(NodeId node, std::uint32_t epoch, Cycle now)
+{
+    (void)epoch;
+    if (Tracer *t = sink())
+        t->idEvent(ev::nodeRestart, nodeChainId(node), now, node);
+    (void)node;
     (void)now;
 }
 

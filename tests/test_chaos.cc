@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Chaos-soak harness for the endpoint fault domain: seeded
+ * randomized crash/restart/link-fault schedules over long runs with
+ * end-of-run conservation checks -- live-pair payload streams match
+ * the fault-free run, no leaked pool packets, no OPT entries or
+ * bulk dialogs left aimed at dead peers -- plus the targeted
+ * scenarios the design calls out: determinism of seeded chaos runs
+ * (byte-identical JSON reports), crash-without-restart termination
+ * through the no-progress grace path, and a receiver restart
+ * mid-bulk-dialog that is rejected by the epoch/dialog check and
+ * then re-established cleanly. The invariant audit rides along on
+ * every run, so protocol violations fail these tests hard.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "sim/audit.hh"
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "sim/report.hh"
+#include "traffic/cshift.hh"
+#include "traffic/synthetic.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+//===------------------------------------------------------------===//
+// Delivered-stream recording (live-pair conservation)
+//===------------------------------------------------------------===//
+
+/** Per-flow delivered tuples, keyed by (receiver, sender). The
+ * delivery hook fires after protocol dedup and the epoch gate, so
+ * this is the stream the software actually consumes. */
+struct DeliveryLog
+{
+    using Tuple = std::array<long, 3>; // msgId, msgSeq, payloadWords
+    std::map<std::pair<NodeId, NodeId>, std::vector<Tuple>> flows;
+};
+
+class DeliveryRecorder : public InvariantChecker
+{
+  public:
+    explicit DeliveryRecorder(DeliveryLog *log) : log_(log) {}
+    const char *name() const override { return "delivery-recorder"; }
+    void
+    onDeliver(const Packet &pkt, NodeId node) override
+    {
+        log_->flows[{node, pkt.src}].push_back(
+            {static_cast<long>(pkt.msgId),
+             static_cast<long>(pkt.msgSeq),
+             static_cast<long>(pkt.payloadWords)});
+    }
+
+  private:
+    DeliveryLog *log_;
+};
+
+/** Chaos runs stop mid-stream and adaptive topologies interleave
+ * concurrent messages differently, so positional equality is too
+ * strict. The conservation invariant: any message both runs
+ * delivered in full carries byte-identical fragments. */
+void
+expectMessagesIdentical(const DeliveryLog &base,
+                        const DeliveryLog &other)
+{
+    auto group = [](const std::vector<DeliveryLog::Tuple> &v) {
+        std::map<long, std::vector<DeliveryLog::Tuple>> m;
+        for (const auto &t : v)
+            m[t[0]].push_back(t);
+        for (auto &e : m)
+            std::sort(e.second.begin(), e.second.end());
+        return m;
+    };
+    std::size_t compared = 0;
+    for (const auto &kv : other.flows) {
+        auto it = base.flows.find(kv.first);
+        if (it == base.flows.end())
+            continue;
+        auto bm = group(it->second);
+        auto om = group(kv.second);
+        for (const auto &msg : om) {
+            auto bit = bm.find(msg.first);
+            if (bit == bm.end() ||
+                bit->second.size() != msg.second.size())
+                continue; // cut off mid-message in one of the runs
+            ++compared;
+            ASSERT_EQ(bit->second, msg.second)
+                << "flow " << kv.first.second << " -> "
+                << kv.first.first << " message " << msg.first
+                << " differs between runs";
+        }
+    }
+    EXPECT_GT(compared, 0u) << "no messages overlapped between runs";
+}
+
+/** Drop every flow that touches a node that crashed during the run
+ * or whose receiver wrote the sender off as dead: those pairs are
+ * exempt from byte-identity (the fault domain interrupted them). */
+DeliveryLog
+liveFlowsOnly(const DeliveryLog &log, Experiment &exp)
+{
+    DeliveryLog out;
+    for (const auto &kv : log.flows) {
+        NodeId receiver = kv.first.first;
+        NodeId sender = kv.first.second;
+        if (exp.nodeCrashedEver(receiver) ||
+            exp.nodeCrashedEver(sender))
+            continue;
+        auto *nn = dynamic_cast<NifdyNic *>(&exp.nic(receiver));
+        if (nn && nn->isPeerDead(sender))
+            continue;
+        out.flows[kv.first] = kv.second;
+    }
+    return out;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::uint64_t
+totalEpochRejects(Experiment &exp)
+{
+    std::uint64_t total = 0;
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        if (auto *nn = dynamic_cast<NifdyNic *>(&exp.nic(n)))
+            total += nn->epochRejects();
+    return total;
+}
+
+std::uint64_t
+totalDialogTeardowns(Experiment &exp)
+{
+    std::uint64_t total = 0;
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        if (auto *nn = dynamic_cast<NifdyNic *>(&exp.nic(n)))
+            total += nn->dialogTeardowns();
+    return total;
+}
+
+/** End-of-run conservation: no live NIC still holds protocol state
+ * aimed at a node that is down right now. Reclamation (retry caps,
+ * reclaim timeouts, dialog teardowns) must have run by the time the
+ * experiment stops. */
+void
+expectNoStateAimedAtDeadNodes(Experiment &exp)
+{
+    for (NodeId n = 0; n < exp.numNodes(); ++n) {
+        if (exp.nic(n).crashed())
+            continue;
+        auto *nn = dynamic_cast<NifdyNic *>(&exp.nic(n));
+        if (!nn)
+            continue;
+        for (NodeId dst : nn->optEntries())
+            EXPECT_FALSE(exp.nic(dst).crashed())
+                << "node " << n << " holds an OPT entry for dead "
+                << "node " << dst;
+        if (nn->bulkActive()) {
+            EXPECT_FALSE(exp.nic(nn->bulkPeer()).crashed())
+                << "node " << n << " still streams a bulk dialog "
+                << "to dead node " << nn->bulkPeer();
+        }
+        for (int d = 0; d < nn->numInDialogs(); ++d) {
+            auto view = nn->inDialogView(d);
+            if (view.active) {
+                EXPECT_FALSE(exp.nic(view.src).crashed())
+                    << "node " << n << " keeps an in-dialog from "
+                    << "dead node " << view.src;
+            }
+        }
+    }
+}
+
+//===------------------------------------------------------------===//
+// The chaos soak: crash/restart/link-fault mix on three topologies
+//===------------------------------------------------------------===//
+
+ExperimentConfig
+chaosCfg(const std::string &topo, bool withFaults)
+{
+    ExperimentConfig cfg;
+    cfg.topology = topo;
+    cfg.numNodes = topo == "mesh3d" ? 8 : 16;
+    cfg.nicKind = NicKind::lossy;
+    cfg.msg.packetWords = 6;
+    cfg.audit = true;
+    cfg.seed = 2;
+    cfg.lossy.retxTimeout = 1200;
+    cfg.lossy.backoffFactor = 2.0;
+    cfg.lossy.maxRetxTimeout = 9600;
+    cfg.lossy.jitterFrac = 0.25;
+    cfg.lossy.maxRetries = 8; // finite: dead peers must be declared
+    if (!withFaults)
+        return cfg;
+    cfg.fault.dropProb = 0.02;
+    // One permanent fail-stop plus two seeded random crash/restart
+    // victims, all landing while traffic is in full swing.
+    NodeFault permanent;
+    permanent.node = 2;
+    permanent.crashAt = 30000;
+    cfg.nodeFault.crashes.push_back(permanent);
+    cfg.nodeFault.randomCrashes = 2;
+    cfg.nodeFault.randomCrashFrom = 40000;
+    cfg.nodeFault.randomCrashSpan = 40000;
+    cfg.nodeFault.randomRestartAfter = 6000;
+    cfg.nodeFault.seed = 11;
+    cfg.nodeReclaim = 20000;
+    return cfg;
+}
+
+void
+runChaos(const std::string &topo, bool withFaults, Cycle cycles,
+         DeliveryLog &log, std::unique_ptr<Experiment> &out)
+{
+    ExperimentConfig cfg = chaosCfg(topo, withFaults);
+    out = std::make_unique<Experiment>(cfg);
+    Experiment &exp = *out;
+    exp.audit()->add(std::make_unique<DeliveryRecorder>(&log));
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n),
+                               exp.barrier(), exp.numNodes(),
+                               SyntheticParams::heavy(), 1));
+    exp.runFor(cycles);
+}
+
+TEST(ChaosSoak, CrashRestartLinkFaultMixAllTopologies)
+{
+    const std::string topos[] = {"fattree", "torus2d", "mesh3d"};
+    for (const std::string &topo : topos) {
+        SCOPED_TRACE(topo);
+        const Cycle cycles = 160000;
+        DeliveryLog baseLog;
+        std::unique_ptr<Experiment> base;
+        runChaos(topo, false, cycles, baseLog, base);
+
+        DeliveryLog chaosLog;
+        std::unique_ptr<Experiment> chaos;
+        runChaos(topo, true, cycles, chaosLog, chaos);
+
+        // The schedule fired: one permanent crash, two restarts.
+        NodeFaultDriver *driver = chaos->nodeFaults();
+        ASSERT_NE(driver, nullptr);
+        EXPECT_TRUE(driver->exhausted());
+        EXPECT_EQ(chaos->nodeCrashes(), 3u);
+        EXPECT_EQ(chaos->nodeRestarts(), 2u);
+        EXPECT_TRUE(chaos->nic(2).crashed());
+        EXPECT_TRUE(chaos->nodeCrashedEver(2));
+
+        // Live nodes noticed the permanent death and reclaimed.
+        EXPECT_GT(chaos->totalDeadPeers(), 0);
+        expectNoStateAimedAtDeadNodes(*chaos);
+
+        // The machine as a whole kept delivering through the chaos.
+        EXPECT_GT(chaos->packetsDelivered(),
+                  base->packetsDelivered() / 4);
+
+        // Conservation: flows between pairs the fault domain never
+        // touched are byte-identical to the fault-free run.
+        expectMessagesIdentical(liveFlowsOnly(baseLog, *base),
+                                liveFlowsOnly(chaosLog, *chaos));
+    }
+}
+
+//===------------------------------------------------------------===//
+// Determinism: identical seeded runs, byte-identical reports
+//===------------------------------------------------------------===//
+
+TEST(ChaosDeterminism, SeededRunsProduceByteIdenticalJsonReports)
+{
+    std::array<std::string, 2> dumps;
+    std::array<std::uint64_t, 2> delivered{};
+    for (int run = 0; run < 2; ++run) {
+        DeliveryLog log;
+        std::unique_ptr<Experiment> exp;
+        runChaos("torus2d", true, 120000, log, exp);
+        RunReport rep("chaos");
+        exp->fillReport(rep);
+        std::string path = ::testing::TempDir() +
+                           "nifdy_chaos_rep" + std::to_string(run) +
+                           ".json";
+        rep.writeJson(path);
+        dumps[static_cast<std::size_t>(run)] = slurp(path);
+        delivered[static_cast<std::size_t>(run)] =
+            exp->packetsDelivered();
+        std::remove(path.c_str());
+    }
+    EXPECT_FALSE(dumps[0].empty());
+    EXPECT_EQ(dumps[0], dumps[1]);
+    EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+//===------------------------------------------------------------===//
+// Crash without restart: the grace path terminates the run
+//===------------------------------------------------------------===//
+
+TEST(ChaosGrace, CrashWithoutRestartTerminatesEarly)
+{
+    ExperimentConfig cfg;
+    cfg.topology = "fattree";
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::lossy;
+    cfg.msg.packetWords = 6;
+    cfg.audit = true;
+    cfg.seed = 3;
+    cfg.lossy.retxTimeout = 800;
+    cfg.lossy.backoffFactor = 2.0;
+    cfg.lossy.maxRetxTimeout = 3200;
+    cfg.lossy.maxRetries = 6;
+    NodeFault f;
+    f.node = 5;
+    f.crashAt = 12000; // mid-pattern, never restarts
+    cfg.nodeFault.crashes.push_back(f);
+    cfg.nodeReclaim = 15000;
+
+    Experiment exp(cfg);
+    CShiftBoard board(exp.numNodes());
+    CShiftParams cp;
+    cp.wordsPerPair = 40;
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<CShiftWorkload>(
+                               exp.proc(n), exp.msg(n),
+                               exp.barrier(), exp.numNodes(), cp,
+                               board, 1));
+
+    const Cycle budget = 4000000;
+    Cycle ran = exp.runUntilDone(budget);
+
+    // The workload cannot complete (node 5's shifts are gone), yet
+    // the run must terminate long before the cycle budget via the
+    // no-progress grace path instead of spinning.
+    EXPECT_LT(ran, budget);
+    EXPECT_TRUE(exp.nic(5).crashed());
+    EXPECT_GT(exp.totalDeadPeers(), 0);
+    expectNoStateAimedAtDeadNodes(exp);
+
+    // Zero leaked pool packets: everything the dead node black-holed
+    // or live peers abandoned was released back to the pool. Only
+    // the stalled live senders' staged state may remain; drain it by
+    // construction -- nothing is in flight once the grace path has
+    // declared no progress and every aimed-at-dead queue was purged.
+    EXPECT_TRUE(exp.drained());
+    EXPECT_EQ(exp.pool().live(), 0u);
+}
+
+//===------------------------------------------------------------===//
+// Receiver restart mid-bulk-dialog: reject, then re-establish
+//===------------------------------------------------------------===//
+
+TEST(ChaosEpoch, ReceiverRestartMidBulkReestablishesDialog)
+{
+    // Long per-pair transfers force bulk dialogs; node 2 (receiver
+    // of node 1's stream) dies mid-dialog and comes back almost
+    // immediately, so the sender's in-flight window and the old
+    // incarnation's acks are still in the fabric when the new
+    // incarnation answers with its bumped epoch.
+    ExperimentConfig cfg;
+    cfg.topology = "fattree";
+    cfg.numNodes = 16;
+    cfg.nicKind = NicKind::lossy;
+    cfg.msg.packetWords = 6;
+    cfg.audit = true;
+    cfg.seed = 4;
+    cfg.lossy.retxTimeout = 600;
+    cfg.lossy.backoffFactor = 2.0;
+    cfg.lossy.maxRetxTimeout = 4800;
+    cfg.lossy.maxRetries = 0; // unbounded: nobody is written off
+    NodeFault f;
+    f.node = 2;
+    f.crashAt = 6000;
+    f.restartAt = 6100; // back before the fabric drains
+    cfg.nodeFault.crashes.push_back(f);
+    // Generous: nobody is genuinely silent inside the observation
+    // window, so reclaim must not fire at all.
+    cfg.nodeReclaim = 200000;
+
+    Experiment exp(cfg);
+    DeliveryLog log;
+    exp.audit()->add(std::make_unique<DeliveryRecorder>(&log));
+    CShiftBoard board(exp.numNodes());
+    CShiftParams cp;
+    cp.wordsPerPair = 2000; // well past the crash cycle
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<CShiftWorkload>(
+                               exp.proc(n), exp.msg(n),
+                               exp.barrier(), exp.numNodes(), cp,
+                               board, 1));
+
+    exp.runFor(7000); // past crash + restart
+    ASSERT_TRUE(exp.nodeCrashedEver(2));
+    ASSERT_FALSE(exp.nic(2).crashed());
+    const std::pair<NodeId, NodeId> pair21{2, 1};
+    std::size_t deliveredBefore = log.flows[pair21].size();
+
+    // A bounded observation window: the pattern as a whole cannot
+    // finish (the restarted node's application state is gone, by
+    // design), but inside this window node 1 must recover its
+    // stream into the new incarnation.
+    exp.runFor(50000);
+
+    // The epoch/dialog check fired: the cold incarnation rejected
+    // in-flight bulk traffic (unknown dialog) and stale acks from
+    // the old incarnation were refused, tearing the dialog down...
+    EXPECT_GT(totalEpochRejects(exp), 0u);
+    EXPECT_GT(totalDialogTeardowns(exp), 0u);
+
+    // ...and then the dialog was re-established cleanly: node 1
+    // kept streaming into the new incarnation, nobody wrote anyone
+    // off, and no stale protocol state survived.
+    EXPECT_GT(log.flows[pair21].size(), deliveredBefore);
+    EXPECT_EQ(exp.totalDeadPeers(), 0);
+    auto *sender = dynamic_cast<NifdyNic *>(&exp.nic(1));
+    ASSERT_NE(sender, nullptr);
+    EXPECT_FALSE(sender->isPeerDead(2));
+    expectNoStateAimedAtDeadNodes(exp);
+}
+
+//===------------------------------------------------------------===//
+// Plan parsing and schedule determinism
+//===------------------------------------------------------------===//
+
+TEST(NodeFaultPlanTest, ParseCompileDeterministic)
+{
+    Config conf;
+    conf.set("node.crash", std::string("3@20000+5000,5@30000"));
+    conf.set("node.randomCrashes", 2L);
+    conf.set("node.crashFrom", 10000L);
+    conf.set("node.crashSpan", 20000L);
+    conf.set("node.restartAfter", 4000L);
+    conf.set("node.seed", 7L);
+
+    NodeFaultPlan plan = NodeFaultPlan::fromConfig(conf);
+    plan.validate();
+    EXPECT_TRUE(plan.active());
+    ASSERT_EQ(plan.crashes.size(), 2u);
+    EXPECT_EQ(plan.crashes[0].node, 3);
+    EXPECT_EQ(plan.crashes[0].crashAt, 20000u);
+    EXPECT_EQ(plan.crashes[0].restartAt, 25000u);
+    EXPECT_EQ(plan.crashes[1].restartAt, 0u);
+
+    auto a = plan.compile(16, 1);
+    auto b = plan.compile(16, 1);
+    ASSERT_EQ(a.size(), 4u);
+    ASSERT_EQ(b.size(), 4u);
+    std::vector<bool> seen(16, false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_EQ(a[i].crashAt, b[i].crashAt);
+        EXPECT_EQ(a[i].restartAt, b[i].restartAt);
+        EXPECT_FALSE(seen.at(static_cast<std::size_t>(a[i].node)))
+            << "node crashed twice in one compiled schedule";
+        seen.at(static_cast<std::size_t>(a[i].node)) = true;
+        if (i > 0) {
+            EXPECT_GE(a[i].crashAt, a[i - 1].crashAt);
+        }
+    }
+}
+
+} // namespace
+} // namespace nifdy

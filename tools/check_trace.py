@@ -10,6 +10,8 @@ Checks, per file:
     original can trail its own retransmission clone)
   - --complete: every chain either ends in a drop or runs the full
     send -> inject -> hop+ -> deliver lifecycle in that order
+    (node.* chains are exempt: they narrate a node's crash/restart
+    history, not a packet lifecycle)
   - --require-acks: every delivered chain also records nic.ack.issue
 
 Exit status 0 when every file passes, 1 otherwise.
@@ -102,7 +104,8 @@ def check_file(path, complete, require_acks):
         names = [ev["name"] for ev in chain]
         if complete:
             dropped = any(n.endswith(".drop") for n in names)
-            if not dropped:
+            node_chain = all(n.startswith("node.") for n in names)
+            if not dropped and not node_chain:
                 pos = -1
                 for step in ORDERED_LIFECYCLE:
                     try:

@@ -23,13 +23,18 @@ Checks enforced (see DESIGN.md, "Static analysis"):
                           Topology, Experiment, the test harnesses).
                           Abstract classes (declaring a pure virtual)
                           are exempt.
-  5. knob-documented   -- every fault.* / lossy.* / trace.* /
-                          metrics.* config key read anywhere in src/
+  5. knob-documented   -- every fault.* / lossy.* / node.* / trace.*
+                          / metrics.* config key read anywhere in src/
                           (getString/getInt/getDouble/getBool) must be
                           listed in the CLI help text in
                           src/harness/experiment.cc, so no
                           fault-injection or telemetry knob is ever
                           undiscoverable from the command line.
+  5b. knob-in-design   -- every CLI knob in the knobDocs table of
+                          src/harness/experiment.cc (the --list-knobs
+                          source of truth) must be mentioned in
+                          DESIGN.md (backticked), so the design
+                          document never lags the command line.
   6. telemetry-taxonomy - every metric / trace-event name emitted as
                           a string literal in src/, bench/ or
                           examples/ (trace.hh ev:: constants, and the
@@ -189,7 +194,10 @@ def parse_classes(files):
 CLI_HELP_FILE = SRC / "harness" / "experiment.cc"
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|trace|metrics)\.[A-Za-z0-9_.]+)"')
+    r'((?:fault|lossy|node|trace|metrics)\.[A-Za-z0-9_.]+)"')
+# One knobDocs[] entry: {"name", "default", "doc..."}. The name is
+# the first string of the brace initializer.
+KNOB_TABLE_RE = re.compile(r'\{"([A-Za-z][A-Za-z0-9.]*)",')
 
 
 def check_knob_documented():
@@ -207,6 +215,27 @@ def check_knob_documented():
                         (path, lineno, "knob-documented",
                          f"config key {knob} is missing from the CLI "
                          "help in src/harness/experiment.cc"))
+    return violations
+
+
+def check_knob_in_design():
+    """Every knob in the knobDocs table (--list-knobs) must appear
+    backticked somewhere in DESIGN.md."""
+    violations = []
+    text = CLI_HELP_FILE.read_text()
+    m = re.search(r"const KnobDoc knobDocs\[\] = \{(.*?)\n\};", text,
+                  re.DOTALL)
+    if not m:
+        return [(CLI_HELP_FILE, 1, "knob-in-design",
+                 "knobDocs table not found (--list-knobs source)")]
+    design = DESIGN_FILE.read_text()
+    table_at = 1 + text[:m.start()].count("\n")
+    for knob in KNOB_TABLE_RE.findall(m.group(1)):
+        if f"`{knob}`" not in design:
+            violations.append(
+                (CLI_HELP_FILE, table_at, "knob-in-design",
+                 f"CLI knob {knob} is not documented (backticked) "
+                 "in DESIGN.md"))
     return violations
 
 
@@ -356,6 +385,7 @@ def main():
     violations += check_stdio(src_files)
     violations += check_steppable_registration(src_files, test_files)
     violations += check_knob_documented()
+    violations += check_knob_in_design()
     violations += check_telemetry_taxonomy()
 
     if violations:
