@@ -12,6 +12,12 @@
  * Args: cycles=120000 nodes=16 seed=1 topology=mesh2d corrupt=0
  *       timeout=1500 backoff=2.0 maxTimeout=12000 jitter=0.25
  *       retries=0 csv=false help=false
+ *
+ * `--anatomy` (or anatomy.enabled=true) attributes every sampled
+ * packet's latency to stall causes per fault rate: the retx-backoff
+ * and epoch-recovery shares grow with the drop probability while
+ * conservation still holds exactly (audited; see
+ * tools/analyze_latency.py --check-conservation).
  */
 
 #include "benchutil.hh"
@@ -58,6 +64,7 @@ main(int argc, char **argv)
             args.conf.getInt("retries", 0));
         cfg.fault.dropProb = drop;
         cfg.fault.corruptProb = corrupt;
+        applyTelemetry(cfg, args.conf);
         Experiment exp(cfg);
         for (NodeId n = 0; n < args.nodes; ++n)
             exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
@@ -80,6 +87,9 @@ main(int argc, char **argv)
             base = words;
         char label[32];
         std::snprintf(label, sizeof(label), "%.0f%%", drop * 100);
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "fault%.0f", drop * 100);
+        recordAnatomy(exp, args, tag);
         t.row({label, Table::num(static_cast<long>(words)),
                Table::num(double(words) / double(base), 3),
                Table::num(static_cast<long>(

@@ -11,6 +11,13 @@
  * Args: cycles=150000 nodes=64 seed=1 csv=false
  * (the paper measures 1,000,000 cycles; pass cycles=1000000 to
  * match; the relative shape is stable from ~100k cycles on).
+ *
+ * `--anatomy` (or anatomy.enabled=true) additionally attributes
+ * every sampled packet's latency to stall causes and emits one
+ * blame table per topology/NIC pair plus "anatomy.<topo>.<nic>.*"
+ * report metrics; feed the `--json` report through
+ * tools/analyze_latency.py for the blame breakdown, the
+ * NIFDY-vs-plain delta, and the conservation check.
  */
 
 #include "benchutil.hh"
@@ -29,16 +36,18 @@ main(int argc, char **argv)
               "nifdy/buffers"});
 
     SyntheticParams sp = SyntheticParams::heavy();
+    bool anatomy = args.conf.getBool("anatomy.enabled", false);
+    BenchArgs *blame = anatomy ? &args : nullptr;
     for (const std::string &topo : paperTopologies()) {
         std::uint64_t none = syntheticThroughput(
             topo, NicKind::none, sp, args.cycles, args.nodes,
-            args.seed, &args.conf);
+            args.seed, &args.conf, blame, topo + ".none");
         std::uint64_t buffers = syntheticThroughput(
             topo, NicKind::buffers, sp, args.cycles, args.nodes,
-            args.seed, &args.conf);
+            args.seed, &args.conf, blame, topo + ".buffers");
         std::uint64_t nifdy = syntheticThroughput(
             topo, NicKind::nifdy, sp, args.cycles, args.nodes,
-            args.seed, &args.conf);
+            args.seed, &args.conf, blame, topo + ".nifdy");
         t.row({topo, Table::num(static_cast<long>(none)),
                Table::num(static_cast<long>(buffers)),
                Table::num(static_cast<long>(nifdy)),

@@ -47,11 +47,15 @@ struct BenchArgs
         : report(toolName(argc, argv))
     {
         conf.parseArgs(argc, argv);
-        // `--json PATH` is sugar for json=PATH (leftover tokens are
-        // otherwise ignored by the key=value parser).
-        for (int i = 1; i + 1 < argc; ++i)
-            if (std::string(argv[i]) == "--json")
+        // `--json PATH` is sugar for json=PATH and `--anatomy` for
+        // anatomy.enabled=true (leftover tokens are otherwise
+        // ignored by the key=value parser).
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--json" && i + 1 < argc)
                 conf.set("json", std::string(argv[i + 1]));
+            if (std::string(argv[i]) == "--anatomy")
+                conf.set("anatomy.enabled", "true");
+        }
         cycles = conf.getInt("cycles", static_cast<long>(defCycles));
         nodes = static_cast<int>(conf.getInt("nodes", defNodes));
         seed = conf.getInt("seed", 1);
@@ -141,6 +145,40 @@ applyTelemetry(ExperimentConfig &cfg, const Config &conf)
         "metrics.interval",
         static_cast<long>(cfg.metrics.interval)));
     cfg.metrics.validate();
+    cfg.anatomy.enabled =
+        conf.getBool("anatomy.enabled", cfg.anatomy.enabled);
+    cfg.anatomy.sampleRate =
+        conf.getDouble("anatomy.sampleRate", cfg.anatomy.sampleRate);
+    cfg.anatomy.seed = static_cast<std::uint64_t>(conf.getInt(
+        "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
+    cfg.anatomy.validate();
+}
+
+/**
+ * Record an experiment's latency-anatomy results (when enabled) into
+ * a bench report under "anatomy.<tag>." metric names, and emit the
+ * blame table. tools/analyze_latency.py consumes the metrics; the
+ * `--anatomy` bench flag turns the sink on.
+ */
+inline void
+recordAnatomy(Experiment &exp, BenchArgs &args,
+              const std::string &tag)
+{
+    const Anatomy *an = exp.anatomy();
+    if (!an)
+        return;
+    const std::string prefix = "anatomy." + tag + ".";
+    args.report.addMetric(prefix + "packets", an->packets());
+    args.report.addMetric(prefix + "discarded", an->discarded());
+    args.report.addMetric(prefix + "latency.cycles",
+                          an->totalLatency());
+    args.report.addMetric(prefix + "cycles.total",
+                          an->totalAttributed());
+    for (int c = 0; c < numStallCauses; ++c)
+        args.report.addMetric(
+            prefix + "cycles." + stallCauseSlugs[c],
+            an->totalCycles(static_cast<StallCause>(c)));
+    args.emit(an->blameTable("latency blame: " + tag));
 }
 
 /** Assemble an experiment with synthetic traffic on every node. */
@@ -169,17 +207,27 @@ makeSyntheticExperiment(const std::string &topology, NicKind kind,
     return exp;
 }
 
-/** Packets delivered by synthetic traffic in a fixed window. */
+/**
+ * Packets delivered by synthetic traffic in a fixed window. When
+ * @p anatomyInto is given and the telemetry config enables the
+ * latency anatomy, the run's blame breakdown is recorded into the
+ * bench report under "anatomy.<anatomyTag>." names.
+ */
 inline std::uint64_t
 syntheticThroughput(const std::string &topology, NicKind kind,
                     const SyntheticParams &sp, Cycle cycles, int nodes,
                     std::uint64_t seed,
-                    const Config *telemetry = nullptr)
+                    const Config *telemetry = nullptr,
+                    BenchArgs *anatomyInto = nullptr,
+                    const std::string &anatomyTag = "")
 {
     auto exp = makeSyntheticExperiment(topology, kind, nodes, sp,
                                        seed, true, telemetry);
     exp->runFor(cycles);
-    return exp->packetsDelivered();
+    std::uint64_t delivered = exp->packetsDelivered();
+    if (anatomyInto)
+        recordAnatomy(*exp, *anatomyInto, anatomyTag);
+    return delivered;
 }
 
 } // namespace nifdy

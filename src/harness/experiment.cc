@@ -230,6 +230,16 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         kernel_.setAudit(audit_.get());
     }
 
+    if (cfg_.anatomy.enabled) {
+        AnatomyConfig ac = cfg_.anatomy;
+        if (ac.seed == 0)
+            ac.seed = cfg_.seed;
+        anatomy_ = std::make_unique<Anatomy>(ac, cfg_.numNodes);
+        if (audit_)
+            audit_->add(
+                makeAnatomyConservationChecker(anatomy_.get()));
+    }
+
     if (!cfg_.trace.path.empty()) {
         if (!trace::compiledIn())
             warn("trace.path set but the trace hooks are compiled "
@@ -251,6 +261,8 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
 
 Experiment::~Experiment()
 {
+    if (anatomy_)
+        anatomy_->finish(kernel_.now());
     if (metrics_)
         metrics_->finish(kernel_.now());
     if (tracer_)
@@ -408,6 +420,21 @@ Experiment::wireMetrics()
                 return double(n);
             });
         }
+    }
+
+    if (anatomy_) {
+        Anatomy *an = anatomy_.get();
+        for (int i = 0; i < numStallCauses; ++i) {
+            StallCause c = static_cast<StallCause>(i);
+            m.addDistSource(std::string("anatomy.stall.") +
+                                stallCauseSlugs[i],
+                            [an, c]() { return an->dist(c); });
+        }
+        m.addDistSource("anatomy.e2e", [an]() { return an->e2e(); });
+        m.addGauge("anatomy.packets", -1,
+                   [an](Cycle) { return double(an->packets()); });
+        m.addGauge("anatomy.open", -1,
+                   [an](Cycle) { return double(an->openRecords()); });
     }
 
     m.addDistSource("nic.latency",
@@ -831,6 +858,30 @@ Experiment::fillReport(RunReport &rep) const
         }
     }
 
+    if (anatomy_) {
+        rep.addMetric("anatomy.packets", anatomy_->packets());
+        rep.addMetric("anatomy.discarded", anatomy_->discarded());
+        rep.addMetric("anatomy.latency.cycles",
+                      anatomy_->totalLatency());
+        rep.addMetric("anatomy.cycles.total",
+                      anatomy_->totalAttributed());
+        for (int i = 0; i < numStallCauses; ++i)
+            rep.addMetric(std::string("anatomy.cycles.") +
+                              stallCauseSlugs[i],
+                          anatomy_->totalCycles(
+                              static_cast<StallCause>(i)));
+        if (anatomy_->e2e().count() > 0) {
+            rep.addMetric("anatomy.e2e.mean", anatomy_->e2e().mean());
+            rep.addMetric("anatomy.e2e.p95",
+                          anatomy_->e2e().percentile(0.95));
+        }
+        rep.addTable(anatomy_->blameTable("latency blame: " +
+                                          net_->name() + " / " +
+                                          nicKindName(cfg_.nicKind)));
+        rep.addTable(anatomy_->classTable("latency blame by class"));
+        rep.addTable(anatomy_->nodeTable("latency blame by node"));
+    }
+
     rep.addTable(statsTable());
 }
 
@@ -924,6 +975,14 @@ experimentFromConfig(const Config &conf)
         "metrics.interval",
         static_cast<long>(cfg.metrics.interval)));
     cfg.metrics.validate();
+
+    cfg.anatomy.enabled =
+        conf.getBool("anatomy.enabled", cfg.anatomy.enabled);
+    cfg.anatomy.sampleRate = conf.getDouble("anatomy.sampleRate",
+                                            cfg.anatomy.sampleRate);
+    cfg.anatomy.seed = static_cast<std::uint64_t>(conf.getInt(
+        "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
+    cfg.anatomy.validate();
     return cfg;
 }
 
@@ -1011,6 +1070,12 @@ const KnobDoc knobDocs[] = {
      "write periodic metric snapshots (JSONL) here"},
     {"metrics.interval", "10000",
      "cycles between metric snapshots"},
+    {"anatomy.enabled", "false",
+     "latency anatomy: per-packet stall-cause attribution"},
+    {"anatomy.sampleRate", "1",
+     "fraction of packet lifecycles attributed, [0, 1]"},
+    {"anatomy.seed", "0",
+     "anatomy sampling hash seed (0 = experiment seed)"},
 };
 
 } // namespace
@@ -1102,7 +1167,13 @@ experimentCliHelp()
           "experiment seed)\n"
           "  metrics.path=FILE      write periodic metric snapshots "
           "(JSONL)\n"
-          "  metrics.interval=N     cycles between metric snapshots\n";
+          "  metrics.interval=N     cycles between metric snapshots\n"
+          "  anatomy.enabled=BOOL   per-packet stall-cause "
+          "attribution (latency anatomy)\n"
+          "  anatomy.sampleRate=P   fraction of lifecycles "
+          "attributed [0, 1]\n"
+          "  anatomy.seed=N         anatomy sampling hash seed (0 = "
+          "experiment seed)\n";
     return os.str();
 }
 

@@ -20,6 +20,7 @@
 #include "nic/plainnic.hh"
 #include "nic/retransmit.hh"
 #include "proc/workload.hh"
+#include "sim/anatomy.hh"
 #include "sim/fault.hh"
 #include "sim/metrics.hh"
 #include "sim/table.hh"
@@ -81,6 +82,9 @@ struct ExperimentConfig
     TraceConfig trace;
     /** Periodic metric snapshots (active when metrics.path is set). */
     MetricsConfig metrics;
+    /** Latency anatomy: per-packet stall-cause attribution
+     * (anatomy.* knobs; off by default and then cost-free). */
+    AnatomyConfig anatomy;
     Cycle barrierLatency = 100;
     Cycle watchdog = 2000000;
     std::uint64_t seed = 1;
@@ -135,6 +139,9 @@ class Experiment
 
     /** The metric registry (nullptr when disabled). */
     Metrics *metrics() { return metrics_.get(); }
+
+    /** The latency-anatomy sink (nullptr when disabled). */
+    Anatomy *anatomy() { return anatomy_.get(); }
 
     //! @name Dead-peer reporting (graceful degradation)
     //! @{
@@ -227,7 +234,9 @@ class Experiment
     std::uint64_t nodeCrashes_ = 0;
     std::uint64_t nodeRestarts_ = 0;
     /** Telemetry sinks; flushed by the destructor before audit_
-     * (below) detaches. */
+     * (below) detaches. The anatomy sink precedes the tracer: its
+     * final transitions render into the trace buffer. */
+    std::unique_ptr<Anatomy> anatomy_;
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<Metrics> metrics_;
     /** Last member: destroyed first, so teardown releases in the

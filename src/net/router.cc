@@ -1,5 +1,6 @@
 #include "net/router.hh"
 
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
@@ -114,8 +115,9 @@ Router::step(Cycle now)
     for (int p = 0; p < static_cast<int>(ins_.size()); ++p) {
         for (int v = 0; v < numVCs_; ++v) {
             VirtChan &vc = ins_[p].vcs[v];
-            if (!vc.active && !vc.buf.empty() && vc.buf.front().head)
-                tryAllocate(p, v, now);
+            if (!vc.active && !vc.buf.empty() &&
+                vc.buf.front().head && !tryAllocate(p, v, now))
+                anatomy::onArbLoss(*vc.buf.front().pkt, now);
         }
     }
 
@@ -200,6 +202,7 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     onAllocate(pkt, bestPort, bestVC % params_.vcsPerClass);
     audit::onHop(pkt, id_);
     trace::onHop(pkt, id_, now);
+    anatomy::onHop(pkt, now);
     return true;
 }
 

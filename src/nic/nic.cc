@@ -1,5 +1,6 @@
 #include "nic/nic.hh"
 
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -35,6 +36,7 @@ Nic::pollReceive(Cycle now)
         return nullptr;
     Packet *pkt = arrivals_.front();
     arrivals_.pop_front();
+    anatomy::onAccept(*pkt, now);
     onProcessorAccept(pkt, now);
     return pkt;
 }
@@ -60,8 +62,16 @@ Nic::pumpsIdle() const
 void
 Nic::step(Cycle now)
 {
+    if (anatomy::active())
+        classifyStalls(now);
     pumpEject(now);
     pumpInject(now);
+}
+
+void
+Nic::classifyStalls(Cycle now)
+{
+    (void)now;
 }
 
 void
@@ -95,6 +105,7 @@ Nic::crashDiscard(Packet *pkt, Cycle now, const char *why)
 {
     audit::onDrop(*pkt, node_, why);
     trace::onDrop(*pkt, node_, now, why);
+    anatomy::onDrop(*pkt, now);
     ++crashDiscards_;
     pool_.release(pkt);
 }
@@ -172,6 +183,7 @@ Nic::pushArrival(Packet *pkt, Cycle now)
     arrivals_.push_back(pkt);
     audit::onDeliver(*pkt, node_);
     trace::onDeliver(*pkt, node_, now);
+    anatomy::onDeliver(*pkt, now);
     ++packetsDelivered_;
     wordsDelivered_ += pkt->payloadWords;
     latency_.sample(now - pkt->createdAt);
@@ -212,6 +224,7 @@ Nic::pumpInject(Cycle now)
             os.pkt->srcEpoch = epoch_;
             audit::onInject(*os.pkt, node_);
             trace::onInject(*os.pkt, node_, now);
+            anatomy::onInject(*os.pkt, now);
             if (os.pkt->type != PacketType::ack &&
                 !os.pkt->ctrlOnly) {
                 ++packetsSent_;

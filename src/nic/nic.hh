@@ -169,6 +169,14 @@ class Nic : public Steppable
 
     /** Cold-restart hook, called after the epoch bump. */
     virtual void onRestart(Cycle now);
+
+    /**
+     * Latency-anatomy hook: attribute every queued-but-not-injected
+     * data packet to its current StallCause (anatomy::onStall).
+     * Called once per cycle from step(), only while an Anatomy sink
+     * is active, so the default off configuration pays nothing.
+     */
+    virtual void classifyStalls(Cycle now);
     //! @}
 
     /** Queue a fully reassembled data packet for the processor. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -49,6 +50,7 @@ NifdyNic::send(Packet *pkt, Cycle now)
     pkt->createdAt = now;
     audit::onSend(*pkt, node_);
     trace::onSend(*pkt, node_, now);
+    anatomy::onSend(*pkt, now);
     sendPool_.push_back({pkt, poolOrder_++});
     // Record a deferral when protocol admission (OPT slot, window
     // room, per-destination order) cannot be immediate; the matching
@@ -385,6 +387,7 @@ NifdyNic::makeAck(const Packet &dataPkt, Cycle now, bool allowFreshGrant)
                                   "dialog restarted: slot discarded");
                     trace::onDrop(*slot, node_, now,
                                   "dialog restarted: slot discarded");
+                    anatomy::onDrop(*slot, now);
                     pool_.release(slot);
                     slot = nullptr;
                 }
@@ -475,6 +478,7 @@ NifdyNic::dropInDialogsFrom(NodeId peer, Cycle now, const char *why)
                 continue;
             audit::onDrop(*slot, node_, why);
             trace::onDrop(*slot, node_, now, why);
+            anatomy::onDrop(*slot, now);
             pool_.release(slot);
             slot = nullptr;
             ++released;
@@ -557,6 +561,7 @@ NifdyNic::abandonPeer(NodeId peer, Cycle now)
             continue;
         audit::onDrop(*p, node_, "peer dead: queued send discarded");
         trace::onDrop(*p, node_, now, "peer dead: queued send discarded");
+        anatomy::onDrop(*p, now);
         pool_.release(p);
         sendPool_.erase(sendPool_.begin() +
                         static_cast<std::ptrdiff_t>(i - 1));
@@ -598,6 +603,7 @@ NifdyNic::rejectStaleEpoch(Packet *pkt, Cycle now, const char *why)
     trace::onEpochReject(*pkt, node_, now);
     audit::onDrop(*pkt, node_, why);
     trace::onDrop(*pkt, node_, now, why);
+    anatomy::onEpochReject(*pkt, now);
     pool_.release(pkt);
     noteActivity();
 }
@@ -663,6 +669,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
             consumeReservation();
         audit::onDrop(*pkt, node_, "duplicate filtered");
         trace::onDrop(*pkt, node_, now, "duplicate filtered");
+        anatomy::onDrop(*pkt, now);
         pool_.release(pkt);
         return;
     }
@@ -692,6 +699,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
         }
         audit::onDrop(*pkt, node_, why);
         trace::onDrop(*pkt, node_, now, why);
+        anatomy::onDrop(*pkt, now);
         pool_.release(pkt);
         noteActivity();
         return;
@@ -710,6 +718,7 @@ NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
     panic_if(dlg.slots[slot] != nullptr,
              "bulk window slot collision on node %d", node_);
     dlg.lastProgress = now;
+    anatomy::onReorder(*pkt, now);
     dlg.slots[slot] = pkt;
     ++dlg.buffered;
     drainDialog(d, now);
@@ -910,6 +919,44 @@ NifdyNic::isDuplicate(Packet &pkt, Cycle now)
     (void)pkt;
     (void)now;
     return false;
+}
+
+void
+NifdyNic::classifyStalls(Cycle now)
+{
+    for (std::size_t i = 0; i < sendPool_.size(); ++i) {
+        const PoolEntry &e = sendPool_[i];
+        anatomy::onStall(*e.pkt, poolStallCause(e, i), now);
+    }
+}
+
+StallCause
+NifdyNic::poolStallCause(const PoolEntry &e, std::size_t idx) const
+{
+    // Branch-for-branch mirror of eligibleScalar(): the first test
+    // that fails is the mechanism to blame. An eligible packet is
+    // waiting only on injection bandwidth (credits / class RR).
+    const Packet &pkt = *e.pkt;
+    if (pkt.noAck)
+        return StallCause::injectStall;
+    for (std::size_t j = 0; j < idx; ++j)
+        if (sendPool_[j].pkt->dst == pkt.dst)
+            return StallCause::ackWait;
+    if (out_.active && pkt.dst == out_.peer) {
+        if (pkt.netClass != out_.cls)
+            return StallCause::windowClosed;
+        if (out_.exitSent || out_.closePending)
+            return StallCause::windowClosed;
+        return out_.unacked() < out_.window
+                   ? StallCause::injectStall
+                   : StallCause::windowClosed;
+    }
+    for (NodeId d : opt_)
+        if (d == pkt.dst)
+            return StallCause::optSlot;
+    return static_cast<int>(opt_.size()) < cfg_.opt
+               ? StallCause::injectStall
+               : StallCause::optCap;
 }
 
 bool

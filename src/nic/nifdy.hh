@@ -33,6 +33,8 @@
 namespace nifdy
 {
 
+enum class StallCause : int;
+
 /** Tunable NIFDY protocol parameters (paper, Section 2.1). */
 struct NifdyConfig
 {
@@ -321,6 +323,16 @@ class NifdyNic : public Nic
      */
     virtual bool eligibleScalar(const PoolEntry &e,
                                 std::size_t idx) const;
+
+    /**
+     * Latency anatomy: attribute every pooled packet to the branch
+     * of eligibleScalar() that is holding it back this cycle. Must
+     * mirror that function's decision order exactly, or blame goes
+     * to the wrong protocol mechanism.
+     */
+    void classifyStalls(Cycle now) override;
+    StallCause poolStallCause(const PoolEntry &e,
+                              std::size_t idx) const;
 
     /** Packets released on behalf of dead peers (subclasses add
      * their own purges, e.g. retransmission queues). */

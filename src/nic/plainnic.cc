@@ -1,5 +1,6 @@
 #include "nic/plainnic.hh"
 
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -29,7 +30,15 @@ BufferedNic::send(Packet *pkt, Cycle now)
     pkt->createdAt = now;
     audit::onSend(*pkt, node_);
     trace::onSend(*pkt, node_, now);
+    anatomy::onSend(*pkt, now);
     sendQueue_.push_back(pkt);
+}
+
+void
+BufferedNic::classifyStalls(Cycle now)
+{
+    for (Packet *pkt : sendQueue_)
+        anatomy::onStall(*pkt, StallCause::injectStall, now);
 }
 
 bool

@@ -41,6 +41,9 @@ class BufferedNic : public Nic
     bool canAccept(const Packet &pkt) override;
     void onPacketDelivered(Packet *pkt, Cycle now) override;
     void onCrash(Cycle now) override;
+    /** No admission protocol: every queued packet is blamed on
+     * injection backpressure (the latency-anatomy layer). */
+    void classifyStalls(Cycle now) override;
 
   private:
     int outQueue_;

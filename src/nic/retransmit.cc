@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -151,6 +152,7 @@ LossyNifdyNic::purgeRetxState(NodeId peer, Cycle now, bool bulkOnly,
             (!bulkOnly || p->type == PacketType::bulk)) {
             audit::onDrop(*p, node_, why);
             trace::onDrop(*p, node_, now, why);
+            anatomy::onDrop(*p, now);
             pool_.release(p);
             it = retxQueue_.erase(it);
             ++abandoned_;
@@ -230,6 +232,7 @@ LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
             consumeReservation(); // canAccept() claimed a slot
         audit::onDrop(*pkt, node_, "corrupted in fabric (CRC)");
         trace::onDrop(*pkt, node_, now, "corrupted in fabric (CRC)");
+        anatomy::onDrop(*pkt, now);
         pool_.release(pkt);
         noteActivity();
         return;
@@ -240,6 +243,7 @@ LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
             consumeReservation(); // canAccept() claimed a slot
         audit::onDrop(*pkt, node_, "fault-injected drop");
         trace::onDrop(*pkt, node_, now, "fault-injected drop");
+        anatomy::onDrop(*pkt, now);
         pool_.release(pkt);
         noteActivity();
         return;

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Latency anatomy: per-packet stall-cause attribution.
+ *
+ * Every cycle of a sampled data packet's life between the app-side
+ * send (Nic::send stamps createdAt) and the app-side receive
+ * (Processor::poll accepting it from the arrival FIFO) is attributed
+ * to exactly one StallCause. The attribution is a tiling: a packet's
+ * record carries the cause it is currently in and the cycle that
+ * segment started; every cause change closes the open segment
+ * [last, now) and opens the next one, so the per-cause cycle counts
+ * sum to the end-to-end latency *exactly* -- the conservation
+ * invariant checked per packet on completion (panic on violation)
+ * and in aggregate by the audit layer's latency-anatomy checker and
+ * by tools/analyze_latency.py --check-conservation in CI.
+ *
+ * Cost model mirrors the trace layer (trace.hh), minus the compile
+ * gate: the anatomy::on* shims below cost one pointer test while no
+ * Anatomy sink is active (anatomy.enabled defaults to off), so the
+ * disabled hot path is unchanged and anatomy-off runs produce
+ * byte-identical reports. When active, per-lifecycle sampling
+ * (anatomy.sampleRate, keyed on a deterministic hash of the packet's
+ * root id so retransmission clones share their original's record)
+ * bounds the bookkeeping.
+ *
+ * Attribution points (see DESIGN.md section 8 for the taxonomy):
+ *  - the NICs classify every queued-but-not-injected data packet
+ *    once per cycle (Nic::classifyStalls): NIFDY mirrors its
+ *    admission predicate (ack wait / OPT slot / OPT cap / closed
+ *    bulk window / injection backpressure), the plain NICs charge
+ *    the whole FIFO to injection backpressure;
+ *  - the router charges head-of-VC allocation failures to
+ *    arbitration loss and successful hops back to wire transit
+ *    (post-allocation switch residency and serialization stay
+ *    "wire": the switch pass is bandwidth, not a protocol stall);
+ *  - drops (receiver CRC/loss, fabric faults) move the record to
+ *    retransmit backoff until the Section 6.2 clone re-injects;
+ *    stale-incarnation rejects move it to epoch recovery;
+ *  - the bulk window reorder buffer and the arrival FIFO charge
+ *    reorder wait and receive-side software overhead respectively.
+ *
+ * Records that never reach the processor (terminal drops, dead
+ * peers, crashes, packets still in flight at end of run) are
+ * discarded, never sampled: the anatomy describes completed
+ * deliveries only, which is what keeps conservation exact.
+ */
+
+#ifndef NIFDY_SIM_ANATOMY_HH
+#define NIFDY_SIM_ANATOMY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "sim/types.hh"
+
+namespace nifdy
+{
+
+struct Packet;
+class InvariantChecker;
+
+/**
+ * Where a sampled packet is spending the current cycle. Exactly one
+ * cause is open per packet at any instant (the tiling invariant).
+ * tools/lint.py checks that every member is documented in the
+ * DESIGN.md section 8 table.
+ */
+enum class StallCause : int
+{
+    swSend,       //!< NIC-side staging between send() and first
+                  //!< classification or injection
+    ackWait,      //!< behind an earlier unacked packet to the same
+                  //!< destination (per-destination FIFO order)
+    optSlot,      //!< destination already holds an OPT entry
+    optCap,       //!< all O OPT entries occupied (global cap)
+    windowClosed, //!< bulk dialog window full / closing / wrong class
+    injectStall,  //!< admissible but blocked on channel credits or
+                  //!< injection round-robin
+    routerArb,    //!< head-of-VC lost switch allocation in a router
+    wireTransit,  //!< serialization, link latency, switch residency
+    retxBackoff,  //!< dropped; waiting for the retransmission clone
+    epochRecovery, //!< rejected by a stale/newer incarnation epoch
+    reorderWait,  //!< buffered in the bulk reorder window (or the
+                  //!< window drain blocked on a full arrival FIFO)
+    swReceive     //!< delivered, waiting for the processor to poll
+};
+
+inline constexpr int numStallCauses = 12;
+
+/** Short slugs, metric/trace-name suffixes ("anatomy.stall.<slug>"). */
+inline constexpr const char *stallCauseSlugs[numStallCauses] = {
+    "swsend", "ackwait", "optslot",  "optcap", "window",  "inject",
+    "arb",    "wire",    "retx",     "epoch",  "reorder", "swrecv",
+};
+
+/** Human-readable cause labels (blame tables). */
+inline constexpr const char *stallCauseLabels[numStallCauses] = {
+    "send staging",     "ack wait",        "OPT slot busy",
+    "OPT cap",          "window closed",   "inject backpressure",
+    "router arb loss",  "wire transit",    "retx backoff",
+    "epoch recovery",   "reorder wait",    "receive poll",
+};
+
+inline const char *
+stallCauseSlug(StallCause c)
+{
+    return stallCauseSlugs[static_cast<int>(c)];
+}
+
+/** Runtime knobs (CLI: anatomy.enabled / anatomy.sampleRate / ...). */
+struct AnatomyConfig
+{
+    /** Master switch; off = no sink, hooks cost one pointer test. */
+    bool enabled = false;
+    /** Fraction of packet lifecycles attributed, in [0, 1]. */
+    double sampleRate = 1.0;
+    /** Sampling hash seed; 0 = inherit the experiment seed. */
+    std::uint64_t seed = 0;
+
+    /** Panic on out-of-range values. */
+    void validate() const;
+};
+
+/**
+ * The attribution sink. Constructing an Anatomy makes it the current
+ * sink (a stack is kept so nested scopes in tests behave);
+ * destroying it pops it. finish() closes the books: records still
+ * open are discarded (counted, never sampled).
+ */
+class Anatomy
+{
+  public:
+    Anatomy(const AnatomyConfig &cfg, int numNodes);
+    ~Anatomy();
+    Anatomy(const Anatomy &) = delete;
+    Anatomy &operator=(const Anatomy &) = delete;
+
+    /** The active sink, or nullptr when attribution is off. */
+    static Anatomy *current();
+
+    /** True when root id @p rootId's lifecycle is sampled. */
+    bool sampledId(std::uint64_t rootId) const;
+
+    //! @name Recording (called through the anatomy::on* shims)
+    //! @{
+    /** App packet handed to the NIC: open a record in swSend. */
+    void onSend(const Packet &pkt, Cycle now);
+    /** Per-cycle NIC classification of a queued packet. */
+    void onStall(const Packet &pkt, StallCause cause, Cycle now);
+    /** Head flit entered the network: -> wireTransit. */
+    void onInject(const Packet &pkt, Cycle now);
+    /** Head-of-VC switch-allocation failure: -> routerArb. */
+    void onArbLoss(const Packet &pkt, Cycle now);
+    /** Successful router allocation: back to wireTransit. */
+    void onHop(const Packet &pkt, Cycle now);
+    /** Recoverable or terminal drop: -> retxBackoff (terminal drops
+     * leave a record that finish() discards). */
+    void onDrop(const Packet &pkt, Cycle now);
+    /** Stale-incarnation reject: -> epochRecovery. */
+    void onEpochReject(const Packet &pkt, Cycle now);
+    /** Buffered in the bulk reorder window: -> reorderWait. */
+    void onReorder(const Packet &pkt, Cycle now);
+    /** Entered the arrival FIFO: -> swReceive. */
+    void onDeliver(const Packet &pkt, Cycle now);
+    /** Accepted by the processor: close and sample the record. */
+    void onAccept(const Packet &pkt, Cycle now);
+    //! @}
+
+    /** Discard still-open records and stop recording. Idempotent. */
+    void finish(Cycle now);
+
+    //! @name Aggregates (completed deliveries only)
+    //! @{
+    /** Packets attributed end to end. */
+    std::uint64_t packets() const { return packets_; }
+    /** Records discarded without completing (drops, crashes,
+     * in-flight at finish()). */
+    std::uint64_t discarded() const { return discarded_; }
+    /** Records still open (in-flight packets). */
+    std::uint64_t openRecords() const { return recs_.size(); }
+    /** Total cycles attributed to @p c across completed packets. */
+    std::uint64_t totalCycles(StallCause c) const
+    {
+        return totals_[static_cast<int>(c)];
+    }
+    /** Sum of totalCycles over every cause. */
+    std::uint64_t totalAttributed() const;
+    /** Sum of end-to-end latencies; equals totalAttributed()
+     * exactly (the conservation invariant). */
+    std::uint64_t totalLatency() const { return e2eSum_; }
+    /** Per-cause per-packet distribution (zeros included, so every
+     * cause's count equals packets()). */
+    const Distribution &dist(StallCause c) const
+    {
+        return dists_[static_cast<int>(c)];
+    }
+    /** End-to-end (send -> processor accept) latency. */
+    const Distribution &e2e() const { return e2e_; }
+    /** Per-cause distribution over packets of @p type (peer-class
+     * split: 0 = scalar, 1 = bulk). */
+    const Distribution &classDist(int cls, StallCause c) const
+    {
+        return classDists_[cls][static_cast<int>(c)];
+    }
+    /** Per-source-node cause totals. */
+    const std::array<std::uint64_t, numStallCauses> &
+    nodeTotals(NodeId n) const
+    {
+        return nodeTotals_[static_cast<std::size_t>(n)];
+    }
+    std::uint64_t nodePackets(NodeId n) const
+    {
+        return nodePackets_[static_cast<std::size_t>(n)];
+    }
+    std::uint64_t nodeLatency(NodeId n) const
+    {
+        return nodeLatency_[static_cast<std::size_t>(n)];
+    }
+    int numNodes() const { return static_cast<int>(nodeTotals_.size()); }
+    //! @}
+
+    //! @name Rendering
+    //! @{
+    /** Cause / cycles / share / per-packet-mean blame table. */
+    Table blameTable(const std::string &title) const;
+    /** Per-source-node cycles-by-cause table (outlier hunting). */
+    Table nodeTable(const std::string &title) const;
+    /** Scalar-vs-bulk per-cause split. */
+    Table classTable(const std::string &title) const;
+    //! @}
+
+  private:
+    struct Rec
+    {
+        Cycle start = 0;          //!< createdAt (send instant)
+        Cycle last = 0;           //!< open segment's start
+        StallCause cur = StallCause::swSend;
+        std::array<std::uint64_t, numStallCauses> accum{};
+        NodeId src = invalidNode;
+        bool bulk = false;        //!< saw a bulk conversion
+    };
+
+    Rec *find(const Packet &pkt);
+    void transition(Rec &r, const Packet &pkt, StallCause cause,
+                    Cycle now);
+    /** Close r.cur's open segment at @p now. */
+    void closeSegment(Rec &r, Cycle now);
+
+    AnatomyConfig cfg_;
+    /** sampleRate mapped onto the u64 hash range. */
+    std::uint64_t sampleThreshold_ = 0;
+    bool finished_ = false;
+
+    std::unordered_map<std::uint64_t, Rec> recs_;
+    std::array<std::uint64_t, numStallCauses> totals_{};
+    std::array<Distribution, numStallCauses> dists_;
+    std::array<std::array<Distribution, numStallCauses>, 2> classDists_;
+    Distribution e2e_{"anatomy.e2e"};
+    std::uint64_t e2eSum_ = 0;
+    std::uint64_t packets_ = 0;
+    std::uint64_t discarded_ = 0;
+    std::vector<std::array<std::uint64_t, numStallCauses>> nodeTotals_;
+    std::vector<std::uint64_t> nodePackets_;
+    std::vector<std::uint64_t> nodeLatency_;
+    /** Live packets per cause (feeds the trace counter track). */
+    std::array<std::int64_t, numStallCauses> live_{};
+};
+
+/**
+ * Aggregate conservation checker for the audit layer: at finish(),
+ * the sum of per-cause totals must equal the sum of end-to-end
+ * latencies exactly.
+ */
+std::unique_ptr<InvariantChecker>
+makeAnatomyConservationChecker(const Anatomy *anatomy);
+
+/**
+ * Observer hook shims, mirroring trace::on*: one pointer test while
+ * no Anatomy is active. Field inspection (sampling, ack/ctrl
+ * filtering) happens inside Anatomy, keeping this header free of a
+ * packet.hh dependency.
+ */
+namespace anatomy
+{
+
+inline Anatomy *
+sink()
+{
+    return Anatomy::current();
+}
+
+/** True when a sink is attached (gates classifyStalls walks). */
+inline bool
+active()
+{
+    return sink() != nullptr;
+}
+
+inline void
+onSend(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onSend(pkt, now);
+}
+
+inline void
+onStall(const Packet &pkt, StallCause cause, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onStall(pkt, cause, now);
+}
+
+inline void
+onInject(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onInject(pkt, now);
+}
+
+inline void
+onArbLoss(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onArbLoss(pkt, now);
+}
+
+inline void
+onHop(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onHop(pkt, now);
+}
+
+inline void
+onDrop(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onDrop(pkt, now);
+}
+
+inline void
+onEpochReject(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onEpochReject(pkt, now);
+}
+
+inline void
+onReorder(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onReorder(pkt, now);
+}
+
+inline void
+onDeliver(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onDeliver(pkt, now);
+}
+
+inline void
+onAccept(const Packet &pkt, Cycle now)
+{
+    if (Anatomy *a = sink())
+        a->onAccept(pkt, now);
+}
+
+} // namespace anatomy
+
+} // namespace nifdy
+
+#endif // NIFDY_SIM_ANATOMY_HH

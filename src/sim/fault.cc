@@ -6,6 +6,7 @@
 #include "net/packet.hh"
 #include "net/router.hh"
 #include "net/topology.hh"
+#include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
@@ -439,6 +440,7 @@ FaultInjector::finishKill(Packet *pkt, int routerId, Cycle now)
     audit::onFabricDrop(*pkt, routerId, "fault-injected fabric drop");
     trace::onFabricDrop(*pkt, routerId, now,
                         "fault-injected fabric drop");
+    anatomy::onDrop(*pkt, now);
     pool_.release(pkt);
 }
 

@@ -77,7 +77,11 @@ Metrics::finish(Cycle now)
 {
     if (!writer_)
         return;
-    if (lastSnapshot_ == neverCycle || now > lastSnapshot_)
+    // Kernel::now() is one past the last executed cycle, so a run
+    // ending exactly on a snapshot boundary hands finish() a cycle
+    // one beyond the row endCycle() just wrote. Skipping that case
+    // avoids a duplicate final row that differs only in its stamp.
+    if (lastSnapshot_ == neverCycle || now > lastSnapshot_ + 1)
         takeSnapshot(now);
     writer_->out.flush();
     panic_if(!writer_->out.good(), "short write on metrics file %s",
@@ -88,6 +92,11 @@ Metrics::finish(Cycle now)
 void
 Metrics::takeSnapshot(Cycle now)
 {
+    panic_if(lastSnapshot_ != neverCycle && now <= lastSnapshot_,
+             "metrics snapshot cycle stamps must be strictly "
+             "increasing (%llu after %llu)",
+             static_cast<unsigned long long>(now),
+             static_cast<unsigned long long>(lastSnapshot_));
     writer_->out << snapshotJson(now) << "\n";
     lastSnapshot_ = now;
     ++snapshots_;

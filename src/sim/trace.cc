@@ -116,7 +116,8 @@ Tracer::sampled(const Packet &pkt) const
 
 void
 Tracer::record(const char *name, std::uint64_t rootId, Cycle now,
-               int track, std::int32_t attempt, const char *why)
+               int track, std::int32_t attempt, const char *why,
+               char ph, std::int64_t value)
 {
     if (closed_)
         return;
@@ -125,7 +126,8 @@ Tracer::record(const char *name, std::uint64_t rootId, Cycle now,
         return;
     }
     events_.push_back(Event{name, why, rootId, now,
-                            static_cast<std::int32_t>(track), attempt});
+                            static_cast<std::int32_t>(track), attempt,
+                            ph, value});
 }
 
 void
@@ -153,6 +155,27 @@ Tracer::idEvent(const char *name, std::uint64_t rootId, Cycle now,
 }
 
 void
+Tracer::anatomySlice(const char *name, std::uint64_t rootId,
+                     Cycle from, Cycle to, int track)
+{
+    if (!sampledId(rootId))
+        return;
+    std::int64_t len = static_cast<std::int64_t>(to - from);
+    // Explicit "b"/"e" pair: the slice starts at the segment start,
+    // which is in the past relative to the buffer tail. Perfetto
+    // sorts by timestamp; check_trace.py exempts "anatomy." names
+    // from the per-chain monotonicity check for the same reason.
+    record(name, rootId, from, track, 0, nullptr, 'b', len);
+    record(name, rootId, to, track, 0, nullptr, 'e', len);
+}
+
+void
+Tracer::counterSample(const char *name, Cycle now, std::int64_t value)
+{
+    record(name, 0, now, 0, 0, nullptr, 'C', value);
+}
+
+void
 Tracer::close()
 {
     if (closed_)
@@ -162,11 +185,15 @@ Tracer::close()
     // Per-id first/last indices: the first event of a chain becomes
     // the async "b", the last the async "e", everything between "n".
     // The buffer is already in simulation-time order, so chains come
-    // out with monotone timestamps by construction.
+    // out with monotone timestamps by construction. Events carrying
+    // an explicit phase (anatomy slices, counter samples) stay out
+    // of the framing computation entirely.
     std::unordered_map<std::uint64_t, std::pair<std::size_t,
                                                 std::size_t>> span;
     span.reserve(events_.size());
     for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (events_[i].ph != 0)
+            continue;
         auto [it, fresh] = span.try_emplace(events_[i].id,
                                             std::make_pair(i, i));
         if (!fresh)
@@ -187,7 +214,7 @@ Tracer::close()
         JsonWriter w;
         w.beginObject();
         w.field("name", e.name);
-        w.field("cat", "packet");
+        w.field("cat", phase == 'C' ? "anatomy" : "packet");
         w.field("ph", std::string_view(&phase, 1));
         w.field("id", e.id);
         w.field("pid", 0);
@@ -195,9 +222,15 @@ Tracer::close()
         w.field("ts", std::uint64_t(e.ts));
         w.key("args");
         w.beginObject();
-        w.field("attempt", std::int64_t(e.attempt));
-        if (e.why)
-            w.field("why", e.why);
+        if (phase == 'C') {
+            w.field("packets", e.value);
+        } else {
+            w.field("attempt", std::int64_t(e.attempt));
+            if (e.ph != 0)
+                w.field("cycles", e.value);
+            if (e.why)
+                w.field("why", e.why);
+        }
         w.endObject();
         w.endObject();
         out << w.str();
@@ -207,10 +240,15 @@ Tracer::close()
     bool first = true;
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const Event &e = events_[i];
-        const auto &[lo, hi] = span.at(e.id);
         if (!first)
             out << ",";
         first = false;
+        if (e.ph != 0) {
+            // Anatomy slice / counter sample: phase is explicit.
+            emit(e, e.ph);
+            continue;
+        }
+        const auto &[lo, hi] = span.at(e.id);
         if (lo == hi) {
             // Single-event chain: emit a matching b/e pair so every
             // async id is well formed.

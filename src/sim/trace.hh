@@ -139,6 +139,17 @@ class Tracer
      * cumulative bulk acks, where the ack covers many packets). */
     void idEvent(const char *name, std::uint64_t rootId, Cycle now,
                  int track, const char *why = nullptr);
+    /** One completed latency-anatomy segment [from, to) recorded as
+     * an explicit "b"/"e" pair on @p rootId's async chain, so it
+     * renders as a per-cause child slice under the packet's
+     * lifecycle chain. Exempt from lifecycle framing (the name
+     * carries the "anatomy." prefix check_trace.py keys on). */
+    void anatomySlice(const char *name, std::uint64_t rootId,
+                      Cycle from, Cycle to, int track);
+    /** Counter-track sample ("C" phase): @p value packets currently
+     * attributed to the cause behind @p name. */
+    void counterSample(const char *name, Cycle now,
+                       std::int64_t value);
     //! @}
 
   private:
@@ -150,10 +161,16 @@ class Tracer
         Cycle ts;
         std::int32_t track;
         std::int32_t attempt;
+        /** Explicit phase ('b'/'e'/'C'); 0 = async chain framing is
+         * computed in close() as before. */
+        char ph;
+        /** Slice length in cycles, or the counter value. */
+        std::int64_t value;
     };
 
     void record(const char *name, std::uint64_t rootId, Cycle now,
-                int track, std::int32_t attempt, const char *why);
+                int track, std::int32_t attempt, const char *why,
+                char ph = 0, std::int64_t value = 0);
 
     TraceConfig cfg_;
     std::string path_;

@@ -14,6 +14,7 @@
 #include "harness/experiment.hh"
 #include "sim/json.hh"
 #include "sim/report.hh"
+#include "sim/stats.hh"
 #include "traffic/synthetic.hh"
 
 namespace nifdy
@@ -204,6 +205,122 @@ TEST(Telemetry, MetricsSnapshotsAreJsonl)
     // One snapshot per interval over 20k cycles, plus the final one.
     EXPECT_GE(lines, 10u);
     EXPECT_LE(lines, 30u);
+}
+
+TEST(Telemetry, DistributionEmptyIsAllZeros)
+{
+    Distribution d("t.empty");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+}
+
+TEST(Telemetry, DistributionSingleSampleIsEveryPercentile)
+{
+    Distribution d("t.single");
+    d.sample(42);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.min(), 42u);
+    EXPECT_EQ(d.max(), 42u);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+    // Clamped to the observed [min, max]: with one sample, every
+    // quantile is that sample.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 42.0);
+}
+
+TEST(Telemetry, DistributionPercentileExtremesAndMonotonicity)
+{
+    Distribution d("t.ramp");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        d.sample(v);
+    // p100 is exact (interpolation clamps to the observed max); p0
+    // is a bucket estimate bounded below by the observed min.
+    // Interior quantiles must stay ordered and in range.
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+    double p0 = d.percentile(0.0);
+    double p50 = d.percentile(0.50);
+    double p95 = d.percentile(0.95);
+    double p99 = d.percentile(0.99);
+    EXPECT_LE(1.0, p0);
+    EXPECT_LE(p0, p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 100.0);
+}
+
+TEST(Telemetry, DistributionMergeWithEmptyIsIdentity)
+{
+    Distribution d("t.full");
+    d.sample(7);
+    d.sample(9000);
+    Distribution empty("t.none");
+    d.merge(empty);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_EQ(d.sum(), 9007u);
+    EXPECT_EQ(d.min(), 7u);
+    EXPECT_EQ(d.max(), 9000u);
+
+    // The other direction: merging into an empty distribution is a
+    // copy of the counts, min included (0 must not leak in as min).
+    Distribution fresh("t.fresh");
+    fresh.merge(d);
+    EXPECT_EQ(fresh.count(), 2u);
+    EXPECT_EQ(fresh.sum(), 9007u);
+    EXPECT_EQ(fresh.min(), 7u);
+    EXPECT_EQ(fresh.max(), 9000u);
+    EXPECT_GE(fresh.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(fresh.percentile(1.0), 9000.0);
+}
+
+TEST(Telemetry, DistributionMergeCombinesExactly)
+{
+    Distribution a("t.a");
+    Distribution b("t.b");
+    for (std::uint64_t v : {1u, 2u, 3u})
+        a.sample(v);
+    for (std::uint64_t v : {100u, 200u})
+        b.sample(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.sum(), 306u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 200u);
+}
+
+TEST(Telemetry, TimeSeriesEmissionOrdering)
+{
+    TimeSeries ts("t.series", 2, 100);
+    EXPECT_TRUE(ts.due(0));
+    std::size_t recorded = 0;
+    for (Cycle now = 0; now < 1000; ++now) {
+        if (!ts.due(now))
+            continue;
+        ts.record(now, {std::uint32_t(now), std::uint32_t(recorded)});
+        ++recorded;
+    }
+    // One row per interval, stamped in strictly increasing time.
+    EXPECT_EQ(ts.rows(), 10u);
+    for (std::size_t i = 0; i < ts.rows(); ++i) {
+        EXPECT_EQ(ts.row(i).size(), 2u);
+        EXPECT_EQ(ts.rowTime(i), Cycle(i * 100));
+        if (i > 0) {
+            EXPECT_GT(ts.rowTime(i), ts.rowTime(i - 1));
+        }
+    }
+    // due() stays false until the next interval boundary.
+    EXPECT_FALSE(ts.due(999));
+    EXPECT_TRUE(ts.due(1000));
+
+    // reset() drops the rows and rearms the clock at zero.
+    ts.reset();
+    EXPECT_EQ(ts.rows(), 0u);
+    EXPECT_TRUE(ts.due(0));
 }
 
 } // namespace

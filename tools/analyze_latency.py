@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Blame analyzer for latency-anatomy run reports.
+
+Consumes the nifdy-report-1 JSON written by `run_experiment --json`
+or any bench's `--json` flag when the latency anatomy is enabled
+(`--anatomy` / anatomy.enabled=true), and renders the per-cause
+blame breakdown recorded under the "anatomy.*" metric names
+(see DESIGN.md section 8).
+
+A report carries one anatomy *group* per attributed run: the harness
+writes bare `anatomy.cycles.<cause>` metrics, the benches one
+`anatomy.<tag>.cycles.<cause>` set per topology/NIC pair.
+
+Usage:
+  analyze_latency.py report.json                 blame breakdown per
+                                                 group + dominant
+                                                 cause + per-node
+                                                 outliers
+  analyze_latency.py report.json --compare A B   blame *shift* between
+                                                 two groups (e.g.
+                                                 fattree.none vs
+                                                 fattree.nifdy)
+  analyze_latency.py report.json --baseline b.json
+                                                 same-tag delta against
+                                                 a second report
+  analyze_latency.py report.json --check-conservation
+                                                 verify that per-cause
+                                                 cycles sum EXACTLY to
+                                                 the end-to-end latency
+                                                 in every group (CI
+                                                 gate; exit 1 on any
+                                                 leak or if no anatomy
+                                                 data is present)
+
+Exit status: 0 clean, 1 on conservation failure, missing anatomy
+data, or unknown group tags.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Mirrors stallCauseSlugs / stallCauseLabels in src/sim/anatomy.hh
+# (tools/lint.py keeps the enum and DESIGN.md in sync; this table is
+# checked against the report keys at load time).
+CAUSES = [
+    ("swsend", "send staging"),
+    ("ackwait", "ack wait"),
+    ("optslot", "OPT slot busy"),
+    ("optcap", "OPT cap"),
+    ("window", "window closed"),
+    ("inject", "inject backpressure"),
+    ("arb", "router arb loss"),
+    ("wire", "wire transit"),
+    ("retx", "retx backoff"),
+    ("epoch", "epoch recovery"),
+    ("reorder", "reorder wait"),
+    ("swrecv", "receive poll"),
+]
+
+GROUP_RE = re.compile(r"^anatomy\.(?:(?P<tag>.+)\.)?cycles\.total$")
+
+
+class Group:
+    """One attributed run: per-cause totals + end-to-end latency."""
+
+    def __init__(self, tag, prefix, metrics):
+        self.tag = tag or "(run)"
+        self.total = int(metrics[prefix + "cycles.total"])
+        self.latency = int(metrics.get(prefix + "latency.cycles", -1))
+        self.packets = int(metrics.get(prefix + "packets", 0))
+        self.discarded = int(metrics.get(prefix + "discarded", 0))
+        self.cycles = {}
+        for slug, _ in CAUSES:
+            key = prefix + "cycles." + slug
+            if key in metrics:
+                self.cycles[slug] = int(metrics[key])
+
+    def share(self, slug):
+        return self.cycles.get(slug, 0) / self.total if self.total else 0.0
+
+    def dominant(self):
+        if not self.cycles:
+            return None
+        return max(self.cycles, key=self.cycles.get)
+
+    def conservation_errors(self):
+        errs = []
+        if self.latency < 0:
+            errs.append("latency.cycles metric missing")
+        elif self.total != self.latency:
+            errs.append(
+                f"cycles.total {self.total} != latency.cycles "
+                f"{self.latency} (leak {self.total - self.latency})")
+        by_cause = sum(self.cycles.values())
+        if len(self.cycles) == len(CAUSES) and by_cause != self.total:
+            errs.append(
+                f"sum of per-cause cycles {by_cause} != cycles.total "
+                f"{self.total} (leak {by_cause - self.total})")
+        missing = [s for s, _ in CAUSES if s not in self.cycles]
+        if missing:
+            errs.append("per-cause metrics missing: " + ", ".join(missing))
+        return errs
+
+
+def load_report(path):
+    with (sys.stdin if path == "-" else open(path)) as f:
+        report = json.load(f)
+    if report.get("schema") != "nifdy-report-1":
+        sys.exit(f"error: {path}: not a nifdy-report-1 document")
+    return report
+
+
+def find_groups(report):
+    metrics = report.get("metrics", {})
+    groups = {}
+    for key in sorted(metrics):
+        m = GROUP_RE.match(key)
+        if not m:
+            continue
+        tag = m.group("tag")
+        prefix = "anatomy." + (tag + "." if tag else "")
+        g = Group(tag, prefix, metrics)
+        groups[g.tag] = g
+    return groups
+
+
+def fmt_cycles(n):
+    return f"{n:,}"
+
+
+def print_group(g, top):
+    label = {s: l for s, l in CAUSES}
+    print(f"== {g.tag}: {g.packets:,} packets, "
+          f"{fmt_cycles(g.total)} cycles attributed"
+          + (f", {g.discarded:,} lifecycles discarded" if g.discarded
+             else "") + " ==")
+    ranked = sorted(g.cycles.items(), key=lambda kv: -kv[1])
+    shown = 0
+    for slug, cyc in ranked:
+        if shown >= top and cyc == 0:
+            break
+        mean = cyc / g.packets if g.packets else 0.0
+        print(f"  {label[slug]:<20} {fmt_cycles(cyc):>14}  "
+              f"{100.0 * g.share(slug):5.1f}%  {mean:10.1f}/pkt")
+        shown += 1
+        if shown >= top:
+            break
+    dom = g.dominant()
+    if dom is not None:
+        print(f"  dominant cause: {label[dom]} "
+              f"({100.0 * g.share(dom):.1f}% of latency)")
+    print()
+
+
+def print_compare(a, b):
+    """Blame shift from group a to group b, in share points."""
+    label = {s: l for s, l in CAUSES}
+    print(f"== blame shift: {a.tag} -> {b.tag} ==")
+    print(f"  {'cause':<20} {a.tag:>12} {b.tag:>12} {'shift':>8}")
+    rows = [(s, a.share(s), b.share(s)) for s, _ in CAUSES
+            if a.cycles.get(s, 0) or b.cycles.get(s, 0)]
+    rows.sort(key=lambda r: -(r[2] - r[1]))
+    for slug, sa, sb in rows:
+        print(f"  {label[slug]:<20} {100 * sa:11.1f}% {100 * sb:11.1f}% "
+              f"{100 * (sb - sa):+7.1f}%")
+    la = a.total / a.packets if a.packets else 0.0
+    lb = b.total / b.packets if b.packets else 0.0
+    print(f"  mean latency/pkt: {la:.1f} -> {lb:.1f} cycles "
+          f"({'%+.1f' % (100.0 * (lb - la) / la) if la else 'n/a'}%)")
+    print()
+
+
+def node_outliers(report, count):
+    """Worst per-node mean latencies from the 'latency blame by node'
+    table (emitted by run_experiment reports)."""
+    label = {s: l for s, l in CAUSES}
+    for table in report.get("tables", []):
+        if not table.get("title", "").startswith("latency blame by node"):
+            continue
+        cols = table["columns"]
+        rows = []
+        for raw in table["rows"]:
+            row = dict(zip(cols, raw))
+            pkts = int(row["pkts"].replace(",", ""))
+            if not pkts:
+                continue
+            lat = int(row["latency"].replace(",", ""))
+            causes = {s: int(row[s].replace(",", ""))
+                      for s, _ in CAUSES if s in row}
+            rows.append((lat / pkts, row["node"], pkts, causes))
+        if not rows:
+            continue
+        rows.sort(reverse=True)
+        fleet = sum(r[0] * r[2] for r in rows) / sum(r[2] for r in rows)
+        print(f"== slowest source nodes ({table['title']}) ==")
+        for mean, node, pkts, causes in rows[:count]:
+            dom = max(causes, key=causes.get) if causes else "?"
+            print(f"  node {node:>4}: {mean:8.1f} cycles/pkt "
+                  f"({pkts:,} pkts, fleet mean {fleet:.1f}), "
+                  f"mostly {label.get(dom, dom)}")
+        print()
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="latency-anatomy blame analyzer "
+                    "(nifdy-report-1 JSON)")
+    ap.add_argument("report", help="report JSON path, or - for stdin")
+    ap.add_argument("--check-conservation", action="store_true",
+                    help="verify per-cause cycles sum exactly to the "
+                         "end-to-end latency in every group")
+    ap.add_argument("--compare", nargs=2, metavar=("TAG_A", "TAG_B"),
+                    help="blame shift between two groups of the report")
+    ap.add_argument("--baseline", metavar="REPORT",
+                    help="second report: per-tag delta against it")
+    ap.add_argument("--top", type=int, default=len(CAUSES),
+                    help="causes to show per group (default: all)")
+    ap.add_argument("--outliers", type=int, default=3,
+                    help="slowest nodes to list (default 3; 0 = none)")
+    args = ap.parse_args()
+
+    report = load_report(args.report)
+    groups = find_groups(report)
+    if not groups:
+        print("error: no anatomy metrics in report (run with "
+              "--anatomy / anatomy.enabled=true)", file=sys.stderr)
+        return 1
+
+    if args.check_conservation:
+        failures = 0
+        packets = 0
+        for tag, g in groups.items():
+            packets += g.packets
+            for err in g.conservation_errors():
+                print(f"CONSERVATION VIOLATION [{tag}]: {err}",
+                      file=sys.stderr)
+                failures += 1
+        if failures:
+            return 1
+        print(f"conservation OK: {len(groups)} group(s), "
+              f"{packets:,} packets, every cycle accounted for")
+        return 0
+
+    if args.compare:
+        missing = [t for t in args.compare if t not in groups]
+        if missing:
+            print("error: no such group(s): " + ", ".join(missing)
+                  + "; available: " + ", ".join(sorted(groups)),
+                  file=sys.stderr)
+            return 1
+        print_compare(groups[args.compare[0]], groups[args.compare[1]])
+        return 0
+
+    if args.baseline:
+        base = find_groups(load_report(args.baseline))
+        shared = [t for t in groups if t in base]
+        if not shared:
+            print("error: no shared anatomy groups with baseline",
+                  file=sys.stderr)
+            return 1
+        for tag in shared:
+            print_compare(base[tag], groups[tag])
+        return 0
+
+    for tag in sorted(groups):
+        print_group(groups[tag], args.top)
+    if args.outliers:
+        node_outliers(report, args.outliers)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,20 @@
 
 Checks, per file:
   - the wrapper has traceEvents + otherData with schema nifdy-trace-1
+  - the trace is not empty and was not truncated by the ring-buffer
+    cap (otherData.eventsDropped > 0 means trace.maxEvents cut the
+    recording short; raise the knob instead of validating a partial
+    trace); --min-events N raises the floor above "non-empty"
   - every event carries name/cat/ph/id/pid/tid/ts/args and the name
     follows the component.noun[.verb] taxonomy (DESIGN.md section 8)
   - per async id: phases frame the chain as b (n)* e and timestamps
     are monotone non-decreasing (attempts may interleave: a late
     original can trail its own retransmission clone)
+  - "anatomy."-prefixed events (latency-anatomy stall slices and
+    counter tracks) are validated for shape only: slices are explicit
+    b/e pairs stamped at segment boundaries in the past relative to
+    the lifecycle chain sharing their async id, and counters use
+    ph "C", so both are exempt from chain framing and monotonicity
   - --complete: every chain either ends in a drop or runs the full
     send -> inject -> hop+ -> deliver lifecycle in that order
     (node.* chains are exempt: they narrate a node's crash/restart
@@ -16,7 +25,8 @@ Checks, per file:
 
 Exit status 0 when every file passes, 1 otherwise.
 
-Usage: check_trace.py [--complete] [--require-acks] TRACE.json...
+Usage: check_trace.py [--complete] [--require-acks] [--min-events N]
+       TRACE.json...
 """
 
 import argparse
@@ -38,7 +48,7 @@ def fail(errors, msg, limit=20):
         errors.append("... further errors suppressed")
 
 
-def check_file(path, complete, require_acks):
+def check_file(path, complete, require_acks, min_events):
     errors = []
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -53,6 +63,17 @@ def check_file(path, complete, require_acks):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return [f"{path}: traceEvents is not a list"]
+    if len(events) < max(min_events, 1):
+        what = "empty trace" if not events else \
+            f"only {len(events)} event(s)"
+        fail(errors, f"{path}: {what}, expected at least "
+                     f"{max(min_events, 1)}")
+    dropped = other.get("eventsDropped", 0)
+    if dropped:
+        fail(errors,
+             f"{path}: truncated trace: {dropped} event(s) dropped "
+             "by the trace.maxEvents cap; raise the knob (or lower "
+             "trace.sampleRate) and re-record")
     recorded = other.get("eventsRecorded")
     if recorded is not None and recorded != len(events):
         fail(errors,
@@ -69,6 +90,21 @@ def check_file(path, complete, require_acks):
             fail(errors,
                  f"{path}: event {i} name '{name}' violates the "
                  "component.noun[.verb] taxonomy")
+        if name.startswith("anatomy."):
+            # Latency-anatomy overlays: explicit-phase b/e stall
+            # slices stamped at (past) segment boundaries, and "C"
+            # counter samples. Shape-checked here, exempt from the
+            # per-chain framing below.
+            if ev.get("ph") not in ("b", "e", "C"):
+                fail(errors,
+                     f"{path}: event {i} anatomy phase "
+                     f"{ev.get('ph')!r}, want b/e slice or C counter")
+            want_cat = "anatomy" if ev.get("ph") == "C" else "packet"
+            if ev.get("cat") != want_cat:
+                fail(errors,
+                     f"{path}: event {i} category is not "
+                     f"'{want_cat}'")
+            continue
         if ev.get("ph") not in ("b", "n", "e"):
             fail(errors,
                  f"{path}: event {i} has phase {ev.get('ph')!r}, "
@@ -132,12 +168,16 @@ def main():
                          "chains (drops exempt)")
     ap.add_argument("--require-acks", action="store_true",
                     help="require nic.ack.issue on delivered chains")
+    ap.add_argument("--min-events", type=int, default=1, metavar="N",
+                    help="fail traces with fewer than N events "
+                         "(default 1: an empty trace always fails)")
     ap.add_argument("traces", nargs="+", metavar="TRACE.json")
     args = ap.parse_args()
 
     status = 0
     for path in args.traces:
-        errors = check_file(path, args.complete, args.require_acks)
+        errors = check_file(path, args.complete, args.require_acks,
+                            args.min_events)
         if errors:
             status = 1
             for e in errors:

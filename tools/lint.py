@@ -24,7 +24,8 @@ Checks enforced (see DESIGN.md, "Static analysis"):
                           Abstract classes (declaring a pure virtual)
                           are exempt.
   5. knob-documented   -- every fault.* / lossy.* / node.* / trace.*
-                          / metrics.* config key read anywhere in src/
+                          / metrics.* / anatomy.* config key read
+                          anywhere in src/
                           (getString/getInt/getDouble/getBool) must be
                           listed in the CLI help text in
                           src/harness/experiment.cc, so no
@@ -43,6 +44,11 @@ Checks enforced (see DESIGN.md, "Static analysis"):
                           must follow the component.noun[.verb]
                           convention and be listed in the DESIGN.md
                           section 8 taxonomy table.
+  7. anatomy-taxonomy  -- every StallCause enum member in
+                          src/sim/anatomy.hh must be documented
+                          (backticked) in the DESIGN.md section 8
+                          cause table, so the latency-anatomy blame
+                          taxonomy never drifts from its docs.
 
 Exit status 0 when clean, 1 when any violation is found.
 """
@@ -194,7 +200,7 @@ def parse_classes(files):
 CLI_HELP_FILE = SRC / "harness" / "experiment.cc"
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|node|trace|metrics)\.[A-Za-z0-9_.]+)"')
+    r'((?:fault|lossy|node|trace|metrics|anatomy)\.[A-Za-z0-9_.]+)"')
 # One knobDocs[] entry: {"name", "default", "doc..."}. The name is
 # the first string of the brace initializer.
 KNOB_TABLE_RE = re.compile(r'\{"([A-Za-z][A-Za-z0-9.]*)",')
@@ -288,6 +294,37 @@ def check_telemetry_taxonomy():
         for lineno, line in enumerate(text.splitlines(), start=1):
             for m in TELEMETRY_CALL_RE.finditer(line):
                 check_name(path, lineno, m.group(1))
+    return violations
+
+
+ANATOMY_HH = SRC / "sim" / "anatomy.hh"
+STALL_ENUM_RE = re.compile(
+    r"enum\s+class\s+StallCause\s*(?::[^{]*)?\{(.*?)\}", re.DOTALL)
+
+
+def check_anatomy_taxonomy():
+    """Every StallCause enum member must appear backticked in the
+    DESIGN.md section 8 cause table."""
+    text = ANATOMY_HH.read_text()
+    m = STALL_ENUM_RE.search(text)
+    if not m:
+        return [(ANATOMY_HH, 1, "anatomy-taxonomy",
+                 "StallCause enum not found in src/sim/anatomy.hh")]
+    body = strip_comments_and_strings(m.group(1))
+    members = re.findall(r"[A-Za-z_]\w*", body)
+    if not members:
+        return [(ANATOMY_HH, 1, "anatomy-taxonomy",
+                 "StallCause enum has no members")]
+    section = design_taxonomy_section()
+    enum_at = 1 + text[:m.start()].count("\n")
+    violations = []
+    for member in members:
+        if f"`{member}`" not in section:
+            violations.append(
+                (ANATOMY_HH, enum_at, "anatomy-taxonomy",
+                 f"StallCause::{member} is not documented "
+                 "(backticked) in the DESIGN.md section 8 cause "
+                 "table"))
     return violations
 
 
@@ -387,6 +424,7 @@ def main():
     violations += check_knob_documented()
     violations += check_knob_in_design()
     violations += check_telemetry_taxonomy()
+    violations += check_anatomy_taxonomy()
 
     if violations:
         report(sorted(violations, key=lambda v: (str(v[0]), v[1])))
