@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <deque>
 
 #include "sim/log.hh"
 #include "nic/retransmit.hh"

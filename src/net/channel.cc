@@ -20,7 +20,7 @@ Channel::classRate(NetClass cls) const
                               : params_.cyclesPerFlit;
 }
 
-bool
+NIFDY_HOT bool
 Channel::canPush(NetClass cls, Cycle now) const
 {
     if (downAt(now))
@@ -48,7 +48,7 @@ Channel::downAt(Cycle now) const
     return false;
 }
 
-void
+NIFDY_HOT void
 Channel::push(const Flit &flit, Cycle now)
 {
     panic_if(!flit.valid(), "pushing invalid flit");
@@ -57,7 +57,7 @@ Channel::push(const Flit &flit, Cycle now)
     int slot = params_.timeSliced ? static_cast<int>(cls) : 0;
     nextFree_[slot] = now + classRate(cls);
     Cycle arrival = now + classRate(cls) + params_.latency;
-    flits_.emplace_back(arrival, flit);
+    flits_.push_back({arrival, flit}); // nifdy:alloc-ok(Ring grows to high-water then reuses)
     ++totalFlits_;
     ++classFlits_[static_cast<int>(cls)];
     panic_if(capacityFlits_ > 0 && inFlight() > capacityFlits_,
@@ -67,13 +67,13 @@ Channel::push(const Flit &flit, Cycle now)
              flit.pkt->toString().c_str());
 }
 
-bool
+NIFDY_HOT bool
 Channel::hasFlit(Cycle now) const
 {
     return !flits_.empty() && flits_.front().first <= now;
 }
 
-Flit
+NIFDY_HOT Flit
 Channel::pop(Cycle now)
 {
     panic_if(!hasFlit(now), "pop on empty channel");
@@ -82,19 +82,19 @@ Channel::pop(Cycle now)
     return f;
 }
 
-void
+NIFDY_HOT void
 Channel::pushCredit(int vc, Cycle now)
 {
-    credits_.emplace_back(now + 1, vc);
+    credits_.push_back({now + 1, vc}); // nifdy:alloc-ok(Ring grows to high-water then reuses)
 }
 
-bool
+NIFDY_HOT bool
 Channel::hasCredit(Cycle now) const
 {
     return !credits_.empty() && credits_.front().first <= now;
 }
 
-int
+NIFDY_HOT int
 Channel::popCredit(Cycle now)
 {
     panic_if(!hasCredit(now), "popCredit on empty credit queue");

@@ -18,10 +18,10 @@
 #ifndef NIFDY_NET_CHANNEL_HH
 #define NIFDY_NET_CHANNEL_HH
 
-#include <deque>
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace nifdy
@@ -126,8 +126,8 @@ class Channel
     std::vector<DownWindow> down_;
     /** Serializer next-free time; [0] shared or per class. */
     Cycle nextFree_[numNetClasses] = {0, 0};
-    std::deque<std::pair<Cycle, Flit>> flits_;
-    std::deque<std::pair<Cycle, int>> credits_;
+    Ring<std::pair<Cycle, Flit>> flits_;
+    Ring<std::pair<Cycle, int>> credits_;
     std::uint64_t totalFlits_ = 0;
     std::uint64_t classFlits_[numNetClasses] = {0, 0};
     int capacityFlits_ = 0;

@@ -73,7 +73,7 @@ Router::onAllocate(Packet &pkt, int outPort, int subVc)
     (void)subVc;
 }
 
-void
+NIFDY_HOT void
 Router::step(Cycle now)
 {
     // Absorb returned credits.
@@ -100,7 +100,7 @@ Router::step(Cycle now)
                 continue;
             }
             VirtChan &vc = ip.vcs[f.vc];
-            vc.buf.push_back(f);
+            vc.buf.push_back(f); // nifdy:alloc-ok(Ring grows to bufDepth then reuses)
             ++bufferedFlits_;
             panic_if(static_cast<int>(vc.buf.size()) >
                          params_.bufDepth,
@@ -124,7 +124,7 @@ Router::step(Cycle now)
     switchPass(now);
 }
 
-bool
+NIFDY_HOT bool
 Router::tryAllocate(int inPort, int vcIdx, Cycle now)
 {
     VirtChan &vc = ins_[inPort].vcs[vcIdx];
@@ -198,7 +198,8 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     vc.outPort = bestPort;
     vc.outVC = bestVC;
     outs_[bestPort].owner[bestVC] = inVcId(inPort, vcIdx);
-    outs_[bestPort].reqs.push_back(inVcId(inPort, vcIdx));
+    outs_[bestPort].reqs.push_back( // nifdy:alloc-ok(vector capacity persists at numVCs high-water)
+        inVcId(inPort, vcIdx));
     onAllocate(pkt, bestPort, bestVC % params_.vcsPerClass);
     audit::onHop(pkt, id_);
     trace::onHop(pkt, id_, now);
@@ -206,13 +207,13 @@ Router::tryAllocate(int inPort, int vcIdx, Cycle now)
     return true;
 }
 
-void
+NIFDY_HOT void
 Router::switchPass(Cycle now)
 {
     // Input-port crossbar constraint: one departure per input port
     // per cycle.
-    static thread_local std::vector<char> inUsed;
-    inUsed.assign(ins_.size(), 0);
+    std::vector<char> &inUsed = inUsedScratch_;
+    inUsed.assign(ins_.size(), 0); // nifdy:alloc-ok(member scratch; capacity persists after first cycle)
 
     for (int op = 0; op < static_cast<int>(outs_.size()); ++op) {
         OutPort &out = outs_[op];

@@ -18,11 +18,11 @@
 #ifndef NIFDY_NET_ROUTER_HH
 #define NIFDY_NET_ROUTER_HH
 
-#include <deque>
 #include <vector>
 
 #include "net/channel.hh"
 #include "sim/kernel.hh"
+#include "sim/ring.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -136,7 +136,7 @@ class Router : public Steppable
   private:
     struct VirtChan
     {
-        std::deque<Flit> buf;
+        Ring<Flit> buf;
         bool active = false; //!< owns a route for the packet in buf
         int outPort = -1;
         int outVC = -1;
@@ -173,6 +173,10 @@ class Router : public Steppable
     Kernel *kernel_ = nullptr;
     FaultInjector *faults_ = nullptr;
     std::vector<int> candidateScratch_;
+    /** Per-cycle switch scratch: one departure per input port. A
+     * member (not function-local static) so routers stay re-entrant
+     * and free of hidden mutable state. */
+    std::vector<char> inUsedScratch_;
 };
 
 } // namespace nifdy

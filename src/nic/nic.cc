@@ -23,13 +23,13 @@ Nic::Nic(NodeId node, const Network::NodePorts &ports,
                                     ports_.injectDepth);
 }
 
-Packet *
+NIFDY_HOT Packet *
 Nic::peekReceive()
 {
     return arrivals_.empty() ? nullptr : arrivals_.front();
 }
 
-Packet *
+NIFDY_HOT Packet *
 Nic::pollReceive(Cycle now)
 {
     if (arrivals_.empty())
@@ -59,7 +59,7 @@ Nic::pumpsIdle() const
     return true;
 }
 
-void
+NIFDY_HOT void
 Nic::step(Cycle now)
 {
     if (anatomy::active())
@@ -129,7 +129,7 @@ Nic::crash(Cycle now)
     // reserved are forfeit.
     for (InStream &is : inStreams_)
         if (is.assembling)
-            blackhole_.insert(is.assembling);
+            blackhole_.insert(is.assembling->id);
     reservedArrivals_ = 0;
     onCrash(now);
 }
@@ -145,20 +145,20 @@ Nic::restart(Cycle now)
     onRestart(now);
 }
 
-bool
+NIFDY_HOT bool
 Nic::acceptArrival(const Packet &pkt)
 {
     if (crashed_) {
-        blackhole_.insert(&pkt);
+        blackhole_.insert(pkt.id); // nifdy:alloc-ok(crashed-node path only, not steady state)
         return true;
     }
     return canAccept(pkt);
 }
 
-void
+NIFDY_HOT void
 Nic::deliverArrival(Packet *pkt, Cycle now)
 {
-    auto it = blackhole_.find(pkt);
+    auto it = blackhole_.find(pkt->id);
     if (it != blackhole_.end()) {
         blackhole_.erase(it);
         crashDiscard(pkt, now, "node crashed: delivery black-holed");
@@ -175,12 +175,12 @@ Nic::consumeReservation()
     --reservedArrivals_;
 }
 
-void
+NIFDY_HOT void
 Nic::pushArrival(Packet *pkt, Cycle now)
 {
     panic_if(static_cast<int>(arrivals_.size()) >= params_.arrivalFifo,
              "arrivals FIFO overflow on node %d", node_);
-    arrivals_.push_back(pkt);
+    arrivals_.push_back(pkt); // nifdy:alloc-ok(Ring grows to arrivalFifo then reuses)
     audit::onDeliver(*pkt, node_);
     trace::onDeliver(*pkt, node_, now);
     anatomy::onDeliver(*pkt, now);
@@ -189,7 +189,7 @@ Nic::pushArrival(Packet *pkt, Cycle now)
     latency_.sample(now - pkt->createdAt);
 }
 
-void
+NIFDY_HOT void
 Nic::pumpInject(Cycle now)
 {
     Channel *ch = ports_.inject;
@@ -242,14 +242,14 @@ Nic::pumpInject(Cycle now)
     injectRR_ = (injectRR_ + 1) % numNetClasses;
 }
 
-void
+NIFDY_HOT void
 Nic::pumpEject(Cycle now)
 {
     Channel *ch = ports_.eject;
     while (ch->hasFlit(now)) {
         Flit f = ch->pop(now);
         InStream &is = inStreams_.at(f.vc);
-        is.buf.push_back(f);
+        is.buf.push_back(f); // nifdy:alloc-ok(Ring grows to ejectDepth then reuses)
         panic_if(static_cast<int>(is.buf.size()) > params_.ejectDepth,
                  "NIC eject buffer overflow on node %d", node_);
     }

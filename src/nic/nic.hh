@@ -14,12 +14,13 @@
 #ifndef NIFDY_NIC_NIC_HH
 #define NIFDY_NIC_NIC_HH
 
-#include <deque>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
 #include "net/topology.hh"
 #include "sim/kernel.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 
 namespace nifdy
@@ -250,12 +251,12 @@ class Nic : public Steppable
     //! @{
     struct InStream
     {
-        std::deque<Flit> buf;    //!< raw flits, credit-bounded
+        Ring<Flit> buf;          //!< raw flits, credit-bounded
         Packet *assembling = nullptr;
         int flitsSeen = 0;
     };
     std::vector<InStream> inStreams_; //!< per ejection VC
-    std::deque<Packet *> arrivals_;
+    Ring<Packet *> arrivals_;
     int reservedArrivals_ = 0;
     std::vector<std::uint32_t> *injectBoard_ = nullptr;
     //! @}
@@ -264,9 +265,12 @@ class Nic : public Steppable
     //! @{
     bool crashed_ = false;
     std::uint32_t epoch_ = 0;
-    /** Packets whose head flit a crashed incarnation accepted; their
-     * reassembled bodies are discarded instead of delivered. */
-    std::unordered_set<const Packet *> blackhole_;
+    /** Ids of packets whose head flit a crashed incarnation
+     * accepted; their reassembled bodies are discarded instead of
+     * delivered. Keyed on the stable Packet::id (never the pointer:
+     * PacketPool recycles Packet objects, so a pointer could alias a
+     * later, unrelated packet). Membership-only. */
+    std::unordered_set<std::uint64_t> blackhole_;
     std::uint64_t crashDiscards_ = 0;
     //! @}
 

@@ -60,7 +60,7 @@ NifdyNic::send(Packet *pkt, Cycle now)
         trace::onOptDefer(*pkt, node_, now);
 }
 
-void
+NIFDY_HOT void
 NifdyNic::step(Cycle now)
 {
     if (reclaimTimeout_ > 0)
@@ -259,16 +259,16 @@ NifdyNic::takeFromPool(std::size_t idx, Cycle now)
     return pkt;
 }
 
-Packet *
+NIFDY_HOT Packet *
 NifdyNic::nextToInject(NetClass cls, Cycle now)
 {
     // Acks first: they are small and the protocol depends on them.
     // Acks being held for a piggyback opportunity (Section 6.1)
     // stay queued until their deadline.
-    for (auto it = ackQueue_.begin(); it != ackQueue_.end(); ++it) {
-        if ((*it)->netClass == cls && (*it)->holdUntil <= now) {
-            Packet *ack = *it;
-            ackQueue_.erase(it);
+    for (std::size_t i = 0; i < ackQueue_.size(); ++i) {
+        Packet *ack = ackQueue_[i];
+        if (ack->netClass == cls && ack->holdUntil <= now) {
+            ackQueue_.erase(i);
             ++acksSent_;
             return ack;
         }
@@ -307,7 +307,7 @@ NifdyNic::nextToInject(NetClass cls, Cycle now)
     return nullptr;
 }
 
-bool
+NIFDY_HOT bool
 NifdyNic::canAccept(const Packet &pkt)
 {
     if (pkt.type == PacketType::ack)
@@ -320,12 +320,12 @@ NifdyNic::canAccept(const Packet &pkt)
     return true;
 }
 
-void
+NIFDY_HOT void
 NifdyNic::tryPiggyback(Packet *pkt, Cycle now)
 {
     (void)now;
-    for (auto it = ackQueue_.begin(); it != ackQueue_.end(); ++it) {
-        Packet *ack = *it;
+    for (std::size_t i = 0; i < ackQueue_.size(); ++i) {
+        Packet *ack = ackQueue_[i];
         // Only scalar acks (no cumulative bulk state) riding in the
         // same logical network as the outgoing data.
         bool isBulkAck = ack->ackDialog >= 0 && ack->ackSeq >= 0;
@@ -338,7 +338,7 @@ NifdyNic::tryPiggyback(Packet *pkt, Cycle now)
         pkt->ackDialog = ack->ackDialog;
         pkt->ackWindow = ack->ackWindow;
         pkt->ackEpoch = ack->ackEpoch;
-        ackQueue_.erase(it);
+        ackQueue_.erase(i);
         audit::onConsume(*ack, node_, "merged into piggyback header");
         pool_.release(ack);
         ++acksPiggybacked_;
@@ -483,7 +483,7 @@ NifdyNic::dropInDialogsFrom(NodeId peer, Cycle now, const char *why)
             slot = nullptr;
             ++released;
         }
-        dlg = InDialog();
+        dlg.reset();
         ++dialogTeardowns_;
     }
     return released;
@@ -498,7 +498,8 @@ NifdyNic::onPeerRestart(NodeId peer, Cycle now)
     dropInDialogsFrom(peer, now, "peer restarted: dialog abandoned");
     // A tombstone from the old incarnation must not final-ack the
     // new incarnation's duplicates.
-    tombstones_.erase(peer);
+    if (static_cast<std::size_t>(peer) < tombstones_.size())
+        tombstones_[static_cast<std::size_t>(peer)] = 0;
     if ((out_.active || out_.requested) && out_.peer == peer)
         teardownOutDialog(now, "peer restarted");
     noteActivity();
@@ -518,13 +519,13 @@ NifdyNic::onPeerDead(NodeId peer, Cycle now)
     (void)now;
 }
 
-void
+NIFDY_HOT void
 NifdyNic::queueAck(Packet *ack)
 {
-    ackQueue_.push_back(ack);
+    ackQueue_.push_back(ack); // nifdy:alloc-ok(Ring grows to high-water then reuses)
 }
 
-bool
+NIFDY_HOT bool
 NifdyNic::hasAckQueued(NetClass cls) const
 {
     for (const Packet *p : ackQueue_)
@@ -567,15 +568,16 @@ NifdyNic::abandonPeer(NodeId peer, Cycle now)
                         static_cast<std::ptrdiff_t>(i - 1));
         ++released;
     }
-    for (auto it = ackQueue_.begin(); it != ackQueue_.end();) {
-        if ((*it)->dst == peer) {
-            audit::onDrop(**it, node_,
+    for (std::size_t i = 0; i < ackQueue_.size();) {
+        Packet *ack = ackQueue_[i];
+        if (ack->dst == peer) {
+            audit::onDrop(*ack, node_,
                           "peer dead: queued ack discarded");
-            pool_.release(*it);
-            it = ackQueue_.erase(it);
+            pool_.release(ack);
+            ackQueue_.erase(i);
             ++released;
         } else {
-            ++it;
+            ++i;
         }
     }
     return released;
@@ -643,7 +645,7 @@ NifdyNic::epochAdmit(Packet *pkt, Cycle now)
     return true;
 }
 
-void
+NIFDY_HOT void
 NifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
     if (!epochAdmit(pkt, now))
@@ -792,8 +794,11 @@ NifdyNic::maybeAckDialog(int d, Cycle now)
     if (dlg.exitDelivered && dlg.buffered == 0) {
         // Dialog complete; free the slot for another sender. The
         // tombstone lets late duplicates still be final-acked.
-        tombstones_[dlg.src] = dlg.delivered;
-        dlg = InDialog();
+        if (static_cast<std::size_t>(dlg.src) >= tombstones_.size())
+            // nifdy:alloc-ok(grows to the talked-to-peers high-water once)
+            tombstones_.resize(static_cast<std::size_t>(dlg.src) + 1, 0);
+        tombstones_[static_cast<std::size_t>(dlg.src)] = dlg.delivered;
+        dlg.reset();
     }
 }
 
@@ -890,9 +895,9 @@ NifdyNic::onCrash(Cycle now)
             if (slot)
                 crashDiscard(slot, now,
                              "node crashed: window slot discarded");
-        dlg = InDialog();
+        dlg.reset();
     }
-    tombstones_.clear();
+    std::fill(tombstones_.begin(), tombstones_.end(), 0);
     peerEpoch_.clear();
     lastHeard_.clear();
     deadPeers_.clear();
@@ -1011,8 +1016,9 @@ NifdyNic::reAckBulk(int d, Cycle now)
 std::int64_t
 NifdyNic::dialogTombstone(NodeId src) const
 {
-    auto it = tombstones_.find(src);
-    return it == tombstones_.end() ? 0 : it->second;
+    return static_cast<std::size_t>(src) < tombstones_.size()
+               ? tombstones_[static_cast<std::size_t>(src)]
+               : 0;
 }
 
 } // namespace nifdy

@@ -29,6 +29,7 @@
 #include <map>
 
 #include "nic/nic.hh"
+#include "sim/ring.hh"
 
 namespace nifdy
 {
@@ -382,6 +383,25 @@ class NifdyNic : public Nic
          * only while a Tracer is active so each bulk packet's chain
          * gets an explicit ack event. */
         std::vector<std::uint64_t> traceAckPending;
+
+        /** Return to the idle state while keeping the slots/pending
+         * vector capacity: dialog slots are granted and torn down
+         * throughout a run, and `*this = InDialog()` would free the
+         * window buffers just to reallocate them at the next grant
+         * (the steady-state allocation gate counts exactly that). */
+        void reset()
+        {
+            active = false;
+            src = invalidNode;
+            cls = NetClass::request;
+            delivered = 0;
+            ackedAt = 0;
+            slots.clear();
+            buffered = 0;
+            exitDelivered = false;
+            lastProgress = 0;
+            traceAckPending.clear();
+        }
     };
 
     Packet *takeFromPool(std::size_t idx, Cycle now);
@@ -414,10 +434,17 @@ class NifdyNic : public Nic
     /** Cycle each OPT entry was created (parallel to opt_);
      * reclaimTimeout measures from here. */
     std::vector<Cycle> optSince_;
-    std::deque<Packet *> ackQueue_;
+    Ring<Packet *> ackQueue_;
     OutDialog out_;
     std::vector<InDialog> in_;
-    std::map<NodeId, std::int64_t> tombstones_;
+    /** Final-ack tombstones, indexed by peer NodeId; 0 means none
+     * (a completed dialog always delivered at least its exit
+     * packet, so a real tombstone is nonzero). A flat vector rather
+     * than a map: tombstones are laid and erased once per completed
+     * dialog, and a map would allocate/free a tree node each time,
+     * forever — this grows to the talked-to-peers high-water once
+     * and then stays allocation-free. */
+    std::vector<std::int64_t> tombstones_;
     /** Latest incarnation epoch seen per peer. */
     std::map<NodeId, std::uint32_t> peerEpoch_;
     /** Cycle of the last valid arrival per peer: the reclaim

@@ -16,14 +16,14 @@ BufferedNic::BufferedNic(NodeId node, const Network::NodePorts &ports,
     panic_if(outQueue_ < 1, "outgoing queue must hold >= 1 packet");
 }
 
-bool
+NIFDY_HOT bool
 BufferedNic::canSend(const Packet &pkt) const
 {
     (void)pkt;
     return static_cast<int>(sendQueue_.size()) < outQueue_;
 }
 
-void
+NIFDY_HOT void
 BufferedNic::send(Packet *pkt, Cycle now)
 {
     panic_if(!canSend(*pkt), "send on full NIC %d", node_);
@@ -31,10 +31,10 @@ BufferedNic::send(Packet *pkt, Cycle now)
     audit::onSend(*pkt, node_);
     trace::onSend(*pkt, node_, now);
     anatomy::onSend(*pkt, now);
-    sendQueue_.push_back(pkt);
+    sendQueue_.push_back(pkt); // nifdy:alloc-ok(Ring grows to outQueue high-water then reuses)
 }
 
-void
+NIFDY_HOT void
 BufferedNic::classifyStalls(Cycle now)
 {
     for (Packet *pkt : sendQueue_)
@@ -47,7 +47,7 @@ BufferedNic::transitIdle() const
     return sendQueue_.empty() && Nic::transitIdle();
 }
 
-Packet *
+NIFDY_HOT Packet *
 BufferedNic::nextToInject(NetClass cls, Cycle now)
 {
     (void)now;
@@ -70,7 +70,7 @@ BufferedNic::onCrash(Cycle now)
     }
 }
 
-bool
+NIFDY_HOT bool
 BufferedNic::canAccept(const Packet &pkt)
 {
     panic_if(pkt.type == PacketType::ack,
@@ -81,7 +81,7 @@ BufferedNic::canAccept(const Packet &pkt)
     return true;
 }
 
-void
+NIFDY_HOT void
 BufferedNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
     consumeReservation();

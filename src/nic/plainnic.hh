@@ -14,6 +14,7 @@
 #define NIFDY_NIC_PLAINNIC_HH
 
 #include "nic/nic.hh"
+#include "sim/ring.hh"
 
 namespace nifdy
 {
@@ -47,7 +48,7 @@ class BufferedNic : public Nic
 
   private:
     int outQueue_;
-    std::deque<Packet *> sendQueue_;
+    Ring<Packet *> sendQueue_;
 };
 
 /** The "no NIFDY" minimal interface. */

@@ -36,7 +36,7 @@ LossyNifdyNic::LossyNifdyNic(NodeId node,
     lossy_.validate();
 }
 
-void
+NIFDY_HOT void
 LossyNifdyNic::step(Cycle now)
 {
     checkTimers(now);
@@ -82,7 +82,7 @@ LossyNifdyNic::rearm(Snapshot &snap, Cycle now)
     snap.deadline = now + jittered(snap.timeout);
 }
 
-void
+NIFDY_HOT void
 LossyNifdyNic::checkTimers(Cycle now)
 {
     // Collect peers that exhausted their retry budget; state is
@@ -92,6 +92,7 @@ LossyNifdyNic::checkTimers(Cycle now)
         if (now < s.deadline)
             return;
         if (lossy_.maxRetries > 0 && s.retries >= lossy_.maxRetries) {
+            // nifdy:alloc-ok(fires only when a peer exhausts its retry budget, not steady state)
             exhausted.push_back(s.copy.dst);
             return;
         }
@@ -123,7 +124,7 @@ LossyNifdyNic::retransmit(Snapshot &snap, Cycle now)
     p->cloneOf = snap.origId;
     p->attempt = snap.retries + 1;
     p->corrupted = false;
-    retxQueue_.push_back(p);
+    retxQueue_.push_back(p); // nifdy:alloc-ok(Ring grows to high-water then reuses)
     ++retransmissions_;
     audit::onRetransmit(*p, node_);
     trace::onRetransmit(*p, node_, now);
@@ -146,18 +147,18 @@ LossyNifdyNic::purgeRetxState(NodeId peer, Cycle now, bool bulkOnly,
             ++it;
     }
     // Queued-but-not-injected retransmission clones for the peer.
-    for (auto it = retxQueue_.begin(); it != retxQueue_.end();) {
-        Packet *p = *it;
+    for (std::size_t i = 0; i < retxQueue_.size();) {
+        Packet *p = retxQueue_[i];
         if (p->dst == peer &&
             (!bulkOnly || p->type == PacketType::bulk)) {
             audit::onDrop(*p, node_, why);
             trace::onDrop(*p, node_, now, why);
             anatomy::onDrop(*p, now);
             pool_.release(p);
-            it = retxQueue_.erase(it);
+            retxQueue_.erase(i);
             ++abandoned_;
         } else {
-            ++it;
+            ++i;
         }
     }
 }
@@ -203,16 +204,15 @@ LossyNifdyNic::onCrash(Cycle now)
     NifdyNic::onCrash(now);
 }
 
-Packet *
+NIFDY_HOT Packet *
 LossyNifdyNic::nextToInject(NetClass cls, Cycle now)
 {
     // Acks keep absolute priority; retransmissions come next.
     if (!hasAckQueued(cls) && !retxQueue_.empty()) {
-        for (auto it = retxQueue_.begin(); it != retxQueue_.end();
-             ++it) {
-            if ((*it)->netClass == cls) {
-                Packet *p = *it;
-                retxQueue_.erase(it);
+        for (std::size_t i = 0; i < retxQueue_.size(); ++i) {
+            Packet *p = retxQueue_[i];
+            if (p->netClass == cls) {
+                retxQueue_.erase(i);
                 return p;
             }
         }
@@ -220,7 +220,7 @@ LossyNifdyNic::nextToInject(NetClass cls, Cycle now)
     return NifdyNic::nextToInject(cls, now);
 }
 
-void
+NIFDY_HOT void
 LossyNifdyNic::onPacketDelivered(Packet *pkt, Cycle now)
 {
     // CRC-check analogy: a packet corrupted inside the fabric is

@@ -143,7 +143,7 @@ class LossyNifdyNic : public NifdyNic
     std::map<NodeId, std::int64_t> sendScalarIdx_;
     /** Receiver-side last accepted scalar index per source. */
     std::map<NodeId, std::int64_t> recvScalarIdx_;
-    std::deque<Packet *> retxQueue_;
+    Ring<Packet *> retxQueue_;
 
     std::uint64_t retransmissions_ = 0;
     std::uint64_t packetsDropped_ = 0;

@@ -45,7 +45,7 @@ MessageLayer::enqueueMessage(NodeId dst, int words, NetClass cls)
     m.words = words;
     m.cls = cls;
     m.id = nextMsgId_++;
-    queue_.push_back(m);
+    queue_.push_back(m); // nifdy:alloc-ok(Ring grows to backlog high-water then reuses)
 }
 
 void
@@ -60,7 +60,7 @@ MessageLayer::enqueuePackets(NodeId dst, int packets, NetClass cls)
               (packets - 1) * payloadPerPacket(false);
     m.cls = cls;
     m.id = nextMsgId_++;
-    queue_.push_back(m);
+    queue_.push_back(m); // nifdy:alloc-ok(Ring grows to backlog high-water then reuses)
 }
 
 Packet *

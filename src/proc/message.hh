@@ -17,9 +17,8 @@
 #ifndef NIFDY_PROC_MESSAGE_HH
 #define NIFDY_PROC_MESSAGE_HH
 
-#include <deque>
-
 #include "proc/processor.hh"
+#include "sim/ring.hh"
 
 namespace nifdy
 {
@@ -117,7 +116,7 @@ class MessageLayer
     Processor &proc_;
     PacketPool &pool_;
     MessageParams params_;
-    std::deque<PendingMsg> queue_;
+    Ring<PendingMsg> queue_;
     Packet *staged_ = nullptr; //!< built but NIC was full
     std::uint32_t nextMsgId_ = 1;
     std::uint64_t packetsSent_ = 0;

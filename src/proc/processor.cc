@@ -19,7 +19,7 @@ Processor::setOffline(bool offline, Cycle now)
         busyUntil_ = now; // whatever it was computing dies with it
 }
 
-void
+NIFDY_HOT void
 Processor::step(Cycle now)
 {
     if (offline_)

@@ -1,0 +1,289 @@
+#include "sim/allocgate.hh"
+
+#include "sim/log.hh"
+
+#ifdef NIFDY_ALLOCGATE
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+std::atomic<bool> gateArmed{false};
+std::atomic<bool> gatePanics{false};
+std::atomic<std::uint64_t> gateAllocs{0};
+std::atomic<std::uint64_t> gateFrees{0};
+std::atomic<std::uint64_t> gateBytes{0};
+
+void
+noteAlloc(std::size_t n)
+{
+    if (!gateArmed.load(std::memory_order_relaxed))
+        return;
+    gateAllocs.fetch_add(1, std::memory_order_relaxed);
+    gateBytes.fetch_add(n, std::memory_order_relaxed);
+    if (gatePanics.load(std::memory_order_relaxed)) {
+        // Disarm before panicking: the message formatting below
+        // allocates, and must not re-enter the gate.
+        gateArmed.store(false, std::memory_order_relaxed);
+        panic("allocgate: heap allocation of %zu bytes inside "
+                     "the armed steady-state window (the post-warmup "
+                     "hot loop must not allocate; see DESIGN.md "
+                     "section 10)",
+                     n);
+    }
+}
+
+void
+noteFree()
+{
+    if (gateArmed.load(std::memory_order_relaxed))
+        gateFrees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void *
+gateAllocate(std::size_t n)
+{
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    noteAlloc(n);
+    return p;
+}
+
+void *
+gateAllocateAligned(std::size_t n, std::size_t align)
+{
+    void *p = std::aligned_alloc(align, (n + align - 1) / align * align);
+    if (!p)
+        throw std::bad_alloc();
+    noteAlloc(n);
+    return p;
+}
+
+} // namespace
+
+// Replacing the global allocation functions is the documented,
+// standard-sanctioned interposition point ([new.delete] "replaceable
+// allocation functions"); every form forwards to the two helpers so
+// counting stays consistent across new/new[]/nothrow/aligned.
+
+void *
+operator new(std::size_t n)
+{
+    return gateAllocate(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return gateAllocate(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    void *p = std::malloc(n ? n : 1);
+    if (p)
+        noteAlloc(n);
+    return p;
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    void *p = std::malloc(n ? n : 1);
+    if (p)
+        noteAlloc(n);
+    return p;
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    return gateAllocateAligned(n, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return gateAllocateAligned(n, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    if (p)
+        noteFree();
+    std::free(p);
+}
+
+namespace nifdy
+{
+namespace allocgate
+{
+
+bool
+available()
+{
+    return true;
+}
+
+void
+arm(Panic mode)
+{
+    gateAllocs.store(0, std::memory_order_relaxed);
+    gateFrees.store(0, std::memory_order_relaxed);
+    gateBytes.store(0, std::memory_order_relaxed);
+    gatePanics.store(mode == Panic::onAlloc, std::memory_order_relaxed);
+    gateArmed.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t
+disarm()
+{
+    gateArmed.store(false, std::memory_order_relaxed);
+    return gateAllocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+allocs()
+{
+    return gateAllocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+frees()
+{
+    return gateFrees.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+bytes()
+{
+    return gateBytes.load(std::memory_order_relaxed);
+}
+
+} // namespace allocgate
+} // namespace nifdy
+
+#else // !NIFDY_ALLOCGATE
+
+namespace nifdy
+{
+namespace allocgate
+{
+
+bool
+available()
+{
+    return false;
+}
+
+void
+arm(Panic)
+{
+}
+
+std::uint64_t
+disarm()
+{
+    return 0;
+}
+
+std::uint64_t
+allocs()
+{
+    return 0;
+}
+
+std::uint64_t
+frees()
+{
+    return 0;
+}
+
+std::uint64_t
+bytes()
+{
+    return 0;
+}
+
+} // namespace allocgate
+} // namespace nifdy
+
+#endif // NIFDY_ALLOCGATE

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Debug-build heap allocation gate for the hot path.
+ *
+ * The determinism contract (DESIGN.md section 10) promises that the
+ * post-warmup simulation loop allocates nothing: every hot-path
+ * queue is a Ring that has grown to its high-water mark, every pool
+ * has reached steady state. nifdylint checks that statically inside
+ * NIFDY_HOT regions; the allocgate checks it dynamically.
+ *
+ * When the build carries -DNIFDY_ALLOCGATE (CMake option
+ * NIFDY_ALLOCGATE), allocgate.cc replaces the global operator
+ * new/delete family with counting versions. A test (or harness)
+ * brackets the steady-state window:
+ *
+ *     allocgate::arm();
+ *     kernel.run(window);
+ *     auto n = allocgate::disarm();   // allocations in the window
+ *
+ * arm(Panic::onAlloc) additionally panics at the first allocation,
+ * with the armed flag cleared first so the panic path itself may
+ * allocate freely while formatting its message.
+ *
+ * Without the define every entry point compiles to a no-op and
+ * available() returns false, so tests can skip cleanly.
+ */
+
+#ifndef NIFDY_SIM_ALLOCGATE_HH
+#define NIFDY_SIM_ALLOCGATE_HH
+
+#include <cstdint>
+
+namespace nifdy
+{
+namespace allocgate
+{
+
+enum class Panic { never, onAlloc };
+
+/** Is the counting operator new/delete interposer compiled in? */
+bool available();
+
+/** Begin counting heap allocations (process-wide). */
+void arm(Panic mode = Panic::never);
+
+/** Stop counting; @return allocations observed while armed. */
+std::uint64_t disarm();
+
+/** Allocations observed since arm() (live while armed). */
+std::uint64_t allocs();
+
+/** Deallocations observed since arm(). */
+std::uint64_t frees();
+
+/** Bytes requested by the observed allocations. */
+std::uint64_t bytes();
+
+} // namespace allocgate
+} // namespace nifdy
+
+#endif // NIFDY_SIM_ALLOCGATE_HH

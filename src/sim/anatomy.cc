@@ -17,6 +17,7 @@ namespace
 std::vector<Anatomy *> &
 anatomyStack()
 {
+    // nifdy:static-ok(harness sink stack, scoped by RAII push/pop; not simulation state)
     static std::vector<Anatomy *> stack;
     return stack;
 }
@@ -373,7 +374,7 @@ Anatomy::finish(Cycle now)
     // (this is also what keeps conservation exact under terminal
     // drops, dead peers, and node crashes).
     discarded_ += recs_.size();
-    for (const auto &kv : recs_)
+    for (const auto &kv : recs_) // nifdy:unordered-ok(commutative decrement, order-free)
         --live_[static_cast<int>(kv.second.cur)];
     recs_.clear();
 }

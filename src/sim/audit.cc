@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -228,13 +229,23 @@ class PacketLifecycleChecker : public InvariantChecker
     void
     finish() override
     {
-        for (const auto &kv : state_) {
+        // fail() is [[noreturn]], so *which* leaked packet gets
+        // reported must not depend on unordered_map iteration
+        // order: pick the smallest leaked id deterministically.
+        std::uint64_t leaked = std::numeric_limits<std::uint64_t>::max();
+        bool found = false;
+        for (const auto &kv : state_) { // nifdy:unordered-ok(commutative min over ids)
             const State &st = kv.second;
-            if (st.injected && !st.terminal())
-                fail("packet #" + std::to_string(kv.first) +
-                     " leaked: injected but never delivered, "
-                     "consumed, or dropped");
+            if (st.injected && !st.terminal() &&
+                (!found || kv.first < leaked)) {
+                leaked = kv.first;
+                found = true;
+            }
         }
+        if (found)
+            fail("packet #" + std::to_string(leaked) +
+                 " leaked: injected but never delivered, "
+                 "consumed, or dropped");
     }
 
   private:
@@ -556,6 +567,7 @@ class EpochDisciplineChecker : public InvariantChecker
 std::vector<Audit *> &
 auditStack()
 {
+    // nifdy:static-ok(harness sink stack, scoped by RAII push/pop; not simulation state)
     static std::vector<Audit *> stack;
     return stack;
 }
@@ -612,7 +624,7 @@ bool
 Audit::envEnabled()
 {
     static const bool enabled = [] {
-        const char *v = std::getenv("NIFDY_AUDIT");
+        const char *v = std::getenv("NIFDY_AUDIT"); // nifdy:wallclock-ok(harness opt-in read once at startup, not behavioral)
         if (!v || !*v)
             return false;
         return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&

@@ -338,7 +338,7 @@ NodeFaultDriver::NodeFaultDriver(const NodeFaultPlan &plan,
     firedAll_ = events_.empty();
 }
 
-void
+NIFDY_HOT void
 NodeFaultDriver::step(Cycle now)
 {
     while (next_ < events_.size() && events_[next_].at <= now) {

@@ -281,8 +281,8 @@ class FaultInjector
     std::uint64_t seed_;
     PacketPool &pool_;
     std::vector<Rng> routerRng_;
-    std::unordered_set<const Channel *> internal_;
-    std::map<KillKey, Packet *> killing_;
+    std::unordered_set<const Channel *> internal_; // nifdy:pointer-ok(membership-only filter, never iterated or ordered)
+    std::map<KillKey, Packet *> killing_; // nifdy:pointer-ok(keyed lookup/erase only, never iterated; order never observed)
 
     std::uint64_t pktsDropped_ = 0;
     std::uint64_t flitsDropped_ = 0;

@@ -17,7 +17,7 @@ Kernel::add(Steppable *obj, std::string name)
     names_.push_back(std::move(name));
 }
 
-void
+NIFDY_HOT void
 Kernel::step()
 {
     activeThisCycle_ = false;
@@ -34,7 +34,7 @@ Kernel::step()
         ++idleCycles_;
 }
 
-Cycle
+NIFDY_HOT Cycle
 Kernel::run(Cycle maxCycles, const std::function<bool()> &done)
 {
     Cycle executed = 0;
@@ -43,21 +43,29 @@ Kernel::run(Cycle maxCycles, const std::function<bool()> &done)
             break;
         step();
         ++executed;
-        if (watchdogLimit_ && idleCycles_ >= watchdogLimit_) {
-            if (done) {
-                std::ostringstream os;
-                os << "no activity for " << idleCycles_
-                   << " cycles at cycle " << now_
-                   << " with unfinished work (" << objects_.size()
-                   << " components)";
-                panic("deadlock watchdog: %s", os.str().c_str());
-            }
+        if (watchdogLimit_ && idleCycles_ >= watchdogLimit_)
+            [[unlikely]]
+        {
+            if (done)
+                watchdogPanic();
             // Without a completion predicate, quiescence simply
             // means there is nothing left to simulate.
             break;
         }
     }
     return executed;
+}
+
+void
+Kernel::watchdogPanic() const
+{
+    // Cold by construction: building the message allocates, which
+    // must stay out of the NIFDY_HOT run loop above.
+    std::ostringstream os;
+    os << "no activity for " << idleCycles_ << " cycles at cycle "
+       << now_ << " with unfinished work (" << objects_.size()
+       << " components)";
+    panic("deadlock watchdog: %s", os.str().c_str());
 }
 
 } // namespace nifdy

@@ -96,6 +96,10 @@ class Kernel
     Metrics *metrics() const { return metrics_; }
 
   private:
+    /** Build and raise the deadlock-watchdog panic message (cold:
+     * keeps string formatting out of the hot run loop). */
+    [[noreturn]] void watchdogPanic() const;
+
     Cycle now_ = 0;
     bool activeThisCycle_ = false;
     Cycle idleCycles_ = 0;

@@ -19,6 +19,7 @@ namespace
 std::vector<Tracer *> &
 tracerStack()
 {
+    // nifdy:static-ok(harness sink stack, scoped by RAII push/pop; not simulation state)
     static std::vector<Tracer *> stack;
     return stack;
 }
@@ -31,6 +32,7 @@ tracerStack()
 std::string
 uniquifyPath(const std::string &path)
 {
+    // nifdy:static-ok(process-wide output-path dedup; file naming only, never behavioral)
     static std::map<std::string, int> uses;
     int n = ++uses[path];
     if (n == 1)
@@ -203,7 +205,7 @@ Tracer::close()
     // Single-event chains are written as a b/e pair below, so the
     // emitted count exceeds the buffered count by one per singleton.
     std::uint64_t emitted = events_.size();
-    for (const auto &kv : span)
+    for (const auto &kv : span) // nifdy:unordered-ok(commutative count of singletons)
         if (kv.second.first == kv.second.second)
             ++emitted;
 

@@ -12,6 +12,18 @@
 namespace nifdy
 {
 
+/**
+ * Marks a function as part of the simulator's per-cycle hot path.
+ *
+ * The annotation has two audiences: the compiler (branch/layout hint)
+ * and tools/nifdylint, whose hot-path rules reject heap allocation
+ * inside NIFDY_HOT function bodies unless the statement carries a
+ * `// nifdy:alloc-ok(<reason>)` justification. The debug-build
+ * allocation gate (sim/allocgate.hh) enforces the same contract at
+ * run time. See DESIGN.md section 10.
+ */
+#define NIFDY_HOT __attribute__((hot))
+
 /** Simulated time, in cycles. The whole simulator is cycle-accurate. */
 using Cycle = std::uint64_t;
 

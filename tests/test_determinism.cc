@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The determinism contract, enforced end to end (DESIGN.md section
+ * 10): the same config run twice in one process -- fresh kernels,
+ * fresh pools, different heap layout the second time around -- must
+ * produce byte-identical nifdy-report-1 JSON; and once warmed up,
+ * the hot loop must not allocate (checked when the build carries
+ * NIFDY_ALLOCGATE; skipped otherwise).
+ *
+ * The CI determinism job is the cross-process complement: it runs
+ * the same configs under different ASLR seeds and diffs the report
+ * files. This fixture catches the same class of bug (behavior keyed
+ * on pointer values, container iteration order, or leftover global
+ * state) without leaving the test binary.
+ */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "sim/allocgate.hh"
+#include "sim/config.hh"
+#include "sim/report.hh"
+#include "traffic/synthetic.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+/** Build, run, and serialize one experiment from key=value pairs. */
+std::string
+runOnce(const Config &conf, Cycle cycles)
+{
+    ExperimentConfig cfg = experimentFromConfig(conf);
+    Experiment exp(cfg);
+    SyntheticParams sp = SyntheticParams::heavy();
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(), sp, cfg.seed));
+    exp.runFor(cycles);
+    RunReport rep("test_determinism");
+    rep.echoConfig(conf);
+    exp.fillReport(rep);
+    return rep.json();
+}
+
+Config
+fig2StyleConfig()
+{
+    // The bench_fig2_heavy shape, shrunk to unit-test size: heavy
+    // synthetic traffic through the best-parameter NIFDY unit.
+    Config conf;
+    conf.set("topology", std::string("fattree"));
+    conf.set("nodes", 16L);
+    conf.set("nic", std::string("nifdy"));
+    conf.set("seed", 3L);
+    return conf;
+}
+
+Config
+faultyConfig()
+{
+    // 5% fabric drops through the lossy NIC with the full invariant
+    // audit attached: the config whose stability the CI determinism
+    // gate certifies across ASLR seeds.
+    Config conf = fig2StyleConfig();
+    conf.set("nic", std::string("nifdy-lossy"));
+    conf.set("fault.dropProb", 0.05);
+    conf.set("audit", true);
+    return conf;
+}
+
+TEST(Determinism, Fig2StyleDoubleRunByteIdentical)
+{
+    const std::string first = runOnce(fig2StyleConfig(), 20000);
+    const std::string second = runOnce(fig2StyleConfig(), 20000);
+    EXPECT_EQ(first, second)
+        << "identical configs produced different reports: behavior "
+           "depends on heap layout, iteration order, or leftover "
+           "global state";
+}
+
+TEST(Determinism, FaultInjectedAuditedDoubleRunByteIdentical)
+{
+    const std::string first = runOnce(faultyConfig(), 20000);
+    const std::string second = runOnce(faultyConfig(), 20000);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, ReportsCarryTheStableSchema)
+{
+    const std::string json = runOnce(fig2StyleConfig(), 2000);
+    EXPECT_NE(json.find("\"schema\":\"nifdy-report-1\""),
+              std::string::npos);
+}
+
+/**
+ * The runtime half of the hot-path allocation discipline: after
+ * warmup, a full steady-state window of the fig2 heavy config must
+ * execute without a single heap allocation. Requires the counting
+ * operator new/delete interposer (cmake -DNIFDY_ALLOCGATE=ON).
+ */
+TEST(Allocgate, SteadyStateHotLoopDoesNotAllocate)
+{
+    if (!allocgate::available())
+        GTEST_SKIP() << "build without NIFDY_ALLOCGATE";
+
+    Config conf = fig2StyleConfig();
+    ExperimentConfig cfg = experimentFromConfig(conf);
+    Experiment exp(cfg);
+    SyntheticParams sp = SyntheticParams::heavy();
+    for (NodeId n = 0; n < exp.numNodes(); ++n)
+        exp.setWorkload(n, std::make_unique<SyntheticWorkload>(
+                               exp.proc(n), exp.msg(n), exp.barrier(),
+                               exp.numNodes(), sp, cfg.seed));
+
+    // Warmup: rings grow to their high-water marks, the packet pool
+    // reaches steady state, protocol maps fill in.
+    exp.runFor(20000);
+
+    allocgate::arm();
+    exp.runFor(5000);
+    const std::uint64_t n = allocgate::disarm();
+    EXPECT_EQ(n, 0u)
+        << "the post-warmup hot loop allocated " << n
+        << " times (bytes: " << allocgate::bytes()
+        << "); hot-path queues must pre-size to their high-water "
+           "mark (see DESIGN.md section 10)";
+}
+
+} // namespace
+} // namespace nifdy

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Ring (sim/ring.hh): the growing circular FIFO that replaced
+ * std::deque on every hot-path queue. The deque swap is only sound
+ * if Ring preserves exact FIFO semantics -- including mid-queue
+ * erase order -- and the allocation contract (grow to high-water,
+ * never again) that the allocgate enforces at run time.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/ring.hh"
+
+namespace nifdy
+{
+namespace
+{
+
+TEST(Ring, FifoOrder)
+{
+    Ring<int> r;
+    EXPECT_TRUE(r.empty());
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, WrapsAroundWithoutGrowing)
+{
+    Ring<int> r;
+    for (int i = 0; i < 8; ++i)
+        r.push_back(i);
+    const std::size_t cap = r.capacity();
+    // Steady-state cycling: push/pop far more elements than the
+    // capacity; the buffer must wrap, not grow.
+    for (int i = 8; i < 1000; ++i) {
+        EXPECT_EQ(r.front(), i - 8);
+        r.pop_front();
+        r.push_back(i);
+    }
+    EXPECT_EQ(r.capacity(), cap);
+    EXPECT_EQ(r.size(), 8u);
+}
+
+TEST(Ring, IndexedAccessIsFifoOrder)
+{
+    Ring<int> r;
+    for (int i = 0; i < 5; ++i)
+        r.push_back(i * 10);
+    r.pop_front(); // head no longer at slot 0
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(r[i], (i + 1) * 10);
+    EXPECT_EQ(r.back(), 40);
+}
+
+TEST(Ring, EraseMidQueuePreservesOrder)
+{
+    Ring<int> r;
+    for (int i = 0; i < 6; ++i)
+        r.push_back(i);
+    r.erase(2); // drop value 2
+    ASSERT_EQ(r.size(), 5u);
+    const int expect[] = {0, 1, 3, 4, 5};
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(r[i], expect[i]);
+    r.erase(0);
+    r.erase(r.size() - 1);
+    EXPECT_EQ(r.front(), 1);
+    EXPECT_EQ(r.back(), 4);
+}
+
+TEST(Ring, EraseAfterWrap)
+{
+    Ring<int> r;
+    for (int i = 0; i < 8; ++i)
+        r.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        r.pop_front();
+    for (int i = 8; i < 13; ++i)
+        r.push_back(i); // head near the end: elements wrap
+    // Queue is now 6,7,8,9,10,11,12 spanning the wrap point.
+    r.erase(3); // drop 9
+    const int expect[] = {6, 7, 8, 10, 11, 12};
+    ASSERT_EQ(r.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(r[i], expect[i]);
+}
+
+TEST(Ring, ClearKeepsCapacity)
+{
+    Ring<std::string> r;
+    for (int i = 0; i < 20; ++i)
+        r.push_back("payload-" + std::to_string(i));
+    const std::size_t cap = r.capacity();
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.capacity(), cap);
+    r.push_back("fresh");
+    EXPECT_EQ(r.front(), "fresh");
+}
+
+TEST(Ring, RangeForIteration)
+{
+    Ring<int> r;
+    for (int i = 0; i < 10; ++i)
+        r.push_back(i);
+    r.pop_front();
+    r.pop_front();
+    int expect = 2;
+    for (int v : r)
+        EXPECT_EQ(v, expect++);
+    EXPECT_EQ(expect, 10);
+    const Ring<int> &cr = r;
+    int sum = 0;
+    for (int v : cr)
+        sum += v;
+    EXPECT_EQ(sum, 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(Ring, ReservePreSizes)
+{
+    Ring<int> r;
+    r.reserve(100);
+    const std::size_t cap = r.capacity();
+    EXPECT_GE(cap, 100u);
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.capacity(), cap); // no growth past reserve
+}
+
+TEST(Ring, MoveOnlyFriendlyValueCycling)
+{
+    // Pointer payloads (the common case: Ring<Packet *>) cycle
+    // through cleared slots.
+    Ring<const char *> r;
+    r.push_back("a");
+    r.push_back("b");
+    EXPECT_STREQ(r.front(), "a");
+    r.pop_front();
+    EXPECT_STREQ(r.front(), "b");
+}
+
+} // namespace
+} // namespace nifdy

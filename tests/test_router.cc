@@ -5,6 +5,8 @@
  * arbitration fairness.
  */
 
+#include <deque>
+
 #include <gtest/gtest.h>
 
 #include "net/router.hh"

@@ -1,439 +1,16 @@
 #!/usr/bin/env python3
-"""Project-specific lint checks for the NIFDY simulator.
+"""Thin compatibility shim: the lint checks live in the nifdylint
+package (tools/nifdylint/). Kept so `python3 tools/lint.py` and the
+CI lint job keep working unchanged; see `python3 -m nifdylint
+--list-rules` (run from tools/) for the full rule set and DESIGN.md
+section 10 for the determinism contract the rules enforce."""
 
-Checks enforced (see DESIGN.md, "Static analysis"):
-
-  1. no-naked-new      -- no `new` expressions; ownership must go
-                          through std::make_unique / containers. The
-                          one allowed idiom is gtest's
-                          AddGlobalTestEnvironment(new ...), which
-                          takes ownership by contract.
-  2. no-rand           -- no rand()/srand(); all randomness must flow
-                          through seeded <random> engines so runs are
-                          reproducible.
-  3. stdio-funnel      -- no stdio I/O calls outside src/sim/log.cc
-                          (the single output funnel). Pure formatting
-                          via snprintf/vsnprintf is allowed anywhere.
-  4. steppable-tested  -- every concrete Steppable subclass must be
-                          exercised by the test suite under a Kernel:
-                          referenced from tests/, in a file that either
-                          registers components itself (.add(...)) or
-                          uses a registering type (a class whose
-                          implementation calls kernel.add, e.g.
-                          Topology, Experiment, the test harnesses).
-                          Abstract classes (declaring a pure virtual)
-                          are exempt.
-  5. knob-documented   -- every fault.* / lossy.* / node.* / trace.*
-                          / metrics.* / anatomy.* config key read
-                          anywhere in src/
-                          (getString/getInt/getDouble/getBool) must be
-                          listed in the CLI help text in
-                          src/harness/experiment.cc, so no
-                          fault-injection or telemetry knob is ever
-                          undiscoverable from the command line.
-  5b. knob-in-design   -- every CLI knob in the knobDocs table of
-                          src/harness/experiment.cc (the --list-knobs
-                          source of truth) must be mentioned in
-                          DESIGN.md (backticked), so the design
-                          document never lags the command line.
-  6. telemetry-taxonomy - every metric / trace-event name emitted as
-                          a string literal in src/, bench/ or
-                          examples/ (trace.hh ev:: constants, and the
-                          first argument of addGauge/addDistSource/
-                          addMetric/counter/distribution/timeSeries)
-                          must follow the component.noun[.verb]
-                          convention and be listed in the DESIGN.md
-                          section 8 taxonomy table.
-  7. anatomy-taxonomy  -- every StallCause enum member in
-                          src/sim/anatomy.hh must be documented
-                          (backticked) in the DESIGN.md section 8
-                          cause table, so the latency-anatomy blame
-                          taxonomy never drifts from its docs.
-
-Exit status 0 when clean, 1 when any violation is found.
-"""
-
-import re
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-SRC = ROOT / "src"
-TESTS = ROOT / "tests"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-STDIO_FUNNEL = SRC / "sim" / "log.cc"
-
-CPP_SUFFIXES = {".cc", ".hh"}
-
-# stdio calls that count as I/O. snprintf/vsnprintf are absent on
-# purpose: they only format into caller-provided buffers. The
-# look-behind keeps `printf` inside `snprintf` from matching.
-STDIO_RE = re.compile(
-    r"(?<![A-Za-z0-9_])(?:std::)?"
-    r"(printf|fprintf|vprintf|vfprintf|sprintf|vsprintf|"
-    r"puts|fputs|putc|fputc|putchar|fwrite|fread|fgets|fgetc|getc|"
-    r"getchar|scanf|fscanf|sscanf|fopen|freopen|fclose|fflush|perror)"
-    r"\s*\("
-)
-IOSTREAM_RE = re.compile(r"std::(cout|cerr|clog)\b")
-NEW_RE = re.compile(r"(?<![A-Za-z0-9_:])new\s+[A-Za-z_(]")
-RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
-CLASS_RE = re.compile(
-    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
-    r"(?::\s*([^{;]*?))?\{"
-)
-PURE_VIRTUAL_RE = re.compile(r"=\s*0\s*;")
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure so reported line numbers stay accurate."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append(
-                "".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def cpp_files(*dirs):
-    for d in dirs:
-        for p in sorted(d.rglob("*")):
-            if p.suffix in CPP_SUFFIXES:
-                yield p
-
-
-def load(path):
-    return strip_comments_and_strings(path.read_text())
-
-
-def report(violations):
-    for path, line, rule, msg in violations:
-        rel = path.relative_to(ROOT)
-        print(f"{rel}:{line}: [{rule}] {msg}")
-
-
-def find_on_lines(text, regex):
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        if regex.search(line):
-            yield lineno, line.strip()
-
-
-def check_naked_new(files):
-    violations = []
-    for path, text in files.items():
-        for lineno, line in find_on_lines(text, NEW_RE):
-            if "AddGlobalTestEnvironment" in line:
-                continue  # gtest takes ownership by contract
-            violations.append(
-                (path, lineno, "no-naked-new",
-                 "naked `new`; use std::make_unique or a container"))
-    return violations
-
-
-def check_rand(files):
-    violations = []
-    for path, text in files.items():
-        for lineno, _ in find_on_lines(text, RAND_RE):
-            violations.append(
-                (path, lineno, "no-rand",
-                 "rand()/srand(); use a seeded <random> engine"))
-    return violations
-
-
-def check_stdio(files):
-    violations = []
-    for path, text in files.items():
-        if not path.is_relative_to(SRC) or path == STDIO_FUNNEL:
-            continue
-        for regex, what in ((STDIO_RE, "stdio call"),
-                            (IOSTREAM_RE, "iostream global")):
-            for lineno, _ in find_on_lines(text, regex):
-                violations.append(
-                    (path, lineno, "stdio-funnel",
-                     f"{what} outside src/sim/log.cc; route output "
-                     "through inform()/warn()/printRaw()"))
-    return violations
-
-
-def parse_classes(files):
-    """Return {name: (path, body, bases)} for every class/struct with
-    a body. Bases is the list of base-class identifiers."""
-    classes = {}
-    for path, text in files.items():
-        for m in CLASS_RE.finditer(text):
-            name, baselist = m.group(1), m.group(2) or ""
-            bases = [
-                b for b in re.findall(r"[A-Za-z_]\w*", baselist)
-                if b not in ("public", "protected", "private", "virtual")
-            ]
-            # Extract the class body by brace matching.
-            depth, i = 1, m.end()
-            while i < len(text) and depth > 0:
-                depth += {"{": 1, "}": -1}.get(text[i], 0)
-                i += 1
-            classes[name] = (path, text[m.end():i - 1], bases)
-    return classes
-
-
-CLI_HELP_FILE = SRC / "harness" / "experiment.cc"
-KNOB_RE = re.compile(
-    r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|node|trace|metrics|anatomy)\.[A-Za-z0-9_.]+)"')
-# One knobDocs[] entry: {"name", "default", "doc..."}. The name is
-# the first string of the brace initializer.
-KNOB_TABLE_RE = re.compile(r'\{"([A-Za-z][A-Za-z0-9.]*)",')
-
-
-def check_knob_documented():
-    """Raw-text scan (the knob names live inside string literals,
-    which load() blanks out)."""
-    violations = []
-    help_text = CLI_HELP_FILE.read_text()
-    for path in cpp_files(SRC):
-        text = path.read_text()
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            for m in KNOB_RE.finditer(line):
-                knob = m.group(1)
-                if knob not in help_text:
-                    violations.append(
-                        (path, lineno, "knob-documented",
-                         f"config key {knob} is missing from the CLI "
-                         "help in src/harness/experiment.cc"))
-    return violations
-
-
-def check_knob_in_design():
-    """Every knob in the knobDocs table (--list-knobs) must appear
-    backticked somewhere in DESIGN.md."""
-    violations = []
-    text = CLI_HELP_FILE.read_text()
-    m = re.search(r"const KnobDoc knobDocs\[\] = \{(.*?)\n\};", text,
-                  re.DOTALL)
-    if not m:
-        return [(CLI_HELP_FILE, 1, "knob-in-design",
-                 "knobDocs table not found (--list-knobs source)")]
-    design = DESIGN_FILE.read_text()
-    table_at = 1 + text[:m.start()].count("\n")
-    for knob in KNOB_TABLE_RE.findall(m.group(1)):
-        if f"`{knob}`" not in design:
-            violations.append(
-                (CLI_HELP_FILE, table_at, "knob-in-design",
-                 f"CLI knob {knob} is not documented (backticked) "
-                 "in DESIGN.md"))
-    return violations
-
-
-DESIGN_FILE = ROOT / "DESIGN.md"
-BENCH = ROOT / "bench"
-EXAMPLES = ROOT / "examples"
-TAXONOMY_RE = re.compile(r"^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){1,2}$")
-# A complete string literal passed as the (first) name argument of a
-# metric/stat sink; partial literals built with `+` do not match.
-TELEMETRY_CALL_RE = re.compile(
-    r"\b(?:addGauge|addDistSource|addMetric|counter|distribution|"
-    r'timeSeries)\s*\(\s*"([a-z0-9.]+)"\s*[,)]')
-# ev:: taxonomy constants in src/sim/trace.hh.
-TRACE_EV_RE = re.compile(
-    r'inline\s+constexpr\s+const\s+char\s*\*\s*\w+\s*=\s*"([^"]+)"')
-
-
-def design_taxonomy_section():
-    """The text of DESIGN.md section 8 (empty if absent)."""
-    text = DESIGN_FILE.read_text()
-    m = re.search(r"^## 8\..*?(?=^## |\Z)", text,
-                  re.MULTILINE | re.DOTALL)
-    return m.group(0) if m else ""
-
-
-def check_telemetry_taxonomy():
-    """Raw-text scan (names live inside string literals)."""
-    section = design_taxonomy_section()
-    violations = []
-
-    def check_name(path, lineno, name):
-        if not TAXONOMY_RE.match(name):
-            violations.append(
-                (path, lineno, "telemetry-taxonomy",
-                 f"name '{name}' does not follow "
-                 "component.noun[.verb]"))
-        elif f"`{name}`" not in section:
-            violations.append(
-                (path, lineno, "telemetry-taxonomy",
-                 f"name '{name}' is missing from the DESIGN.md "
-                 "section 8 taxonomy table"))
-
-    trace_hh = SRC / "sim" / "trace.hh"
-    for lineno, line in enumerate(
-            trace_hh.read_text().splitlines(), start=1):
-        for m in TRACE_EV_RE.finditer(line):
-            check_name(trace_hh, lineno, m.group(1))
-    for path in cpp_files(SRC, BENCH, EXAMPLES):
-        text = path.read_text()
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            for m in TELEMETRY_CALL_RE.finditer(line):
-                check_name(path, lineno, m.group(1))
-    return violations
-
-
-ANATOMY_HH = SRC / "sim" / "anatomy.hh"
-STALL_ENUM_RE = re.compile(
-    r"enum\s+class\s+StallCause\s*(?::[^{]*)?\{(.*?)\}", re.DOTALL)
-
-
-def check_anatomy_taxonomy():
-    """Every StallCause enum member must appear backticked in the
-    DESIGN.md section 8 cause table."""
-    text = ANATOMY_HH.read_text()
-    m = STALL_ENUM_RE.search(text)
-    if not m:
-        return [(ANATOMY_HH, 1, "anatomy-taxonomy",
-                 "StallCause enum not found in src/sim/anatomy.hh")]
-    body = strip_comments_and_strings(m.group(1))
-    members = re.findall(r"[A-Za-z_]\w*", body)
-    if not members:
-        return [(ANATOMY_HH, 1, "anatomy-taxonomy",
-                 "StallCause enum has no members")]
-    section = design_taxonomy_section()
-    enum_at = 1 + text[:m.start()].count("\n")
-    violations = []
-    for member in members:
-        if f"`{member}`" not in section:
-            violations.append(
-                (ANATOMY_HH, enum_at, "anatomy-taxonomy",
-                 f"StallCause::{member} is not documented "
-                 "(backticked) in the DESIGN.md section 8 cause "
-                 "table"))
-    return violations
-
-
-def check_steppable_registration(src_files, test_files):
-    all_files = {**src_files, **test_files}
-    classes = parse_classes(all_files)
-
-    # Subclass closure of Steppable.
-    steppables = {"Steppable"}
-    changed = True
-    while changed:
-        changed = False
-        for name, (_, _, bases) in classes.items():
-            if name not in steppables and steppables & set(bases):
-                steppables.add(name)
-                changed = True
-    steppables.discard("Steppable")
-
-    # Types whose own translation units register components with a
-    # kernel (e.g. Topology, Experiment, the test harnesses): using
-    # one of these in a test counts as kernel registration.
-    registering = set()
-    for name, (path, _, _) in classes.items():
-        stem_files = [p for p in all_files
-                      if p.stem == path.stem and p.parent == path.parent]
-        for p in stem_files:
-            if re.search(r"\bkernel_?\.add\s*\(", all_files[p]):
-                registering.add(name)
-    # A subclass of a registering type registers too (Topology
-    # subclasses inherit the behaviour).
-    changed = True
-    while changed:
-        changed = False
-        for name, (_, _, bases) in classes.items():
-            if name not in registering and registering & set(bases):
-                registering.add(name)
-                changed = True
-
-    def connected_to_kernel(text):
-        if re.search(r"\.\s*add\s*\(", text):
-            return True
-        return any(re.search(rf"\b{t}\b", text) for t in registering)
-
-    def files_of(name):
-        path = classes[name][0]
-        return [p for p in all_files
-                if p.stem == path.stem and p.parent == path.parent]
-
-    def owner_registered(name):
-        """True when a registering type instantiates @p name in its
-        own translation unit (e.g. a Network building its routers)
-        and that type is itself referenced from tests/."""
-        for r in registering:
-            if r not in classes:
-                continue
-            instantiates = any(
-                re.search(rf"make_unique<\s*{name}\b", all_files[p])
-                for p in files_of(r))
-            if instantiates and any(
-                    re.search(rf"\b{r}\b", t) for t in
-                    test_files.values()):
-                return True
-        return False
-
-    violations = []
-    for name in sorted(steppables):
-        path, body, _ = classes[name]
-        if PURE_VIRTUAL_RE.search(body):
-            continue  # abstract: cannot be instantiated directly
-        exercised = False
-        for tpath, ttext in test_files.items():
-            if re.search(rf"\b{name}\b", ttext) and \
-                    connected_to_kernel(ttext):
-                exercised = True
-                break
-        if not exercised and owner_registered(name):
-            exercised = True
-        if not exercised:
-            violations.append(
-                (path, 1 + all_files[path][:all_files[path].find(name)]
-                 .count("\n"), "steppable-tested",
-                 f"Steppable subclass {name} is never registered with "
-                 "a Kernel in tests/"))
-    return violations
-
-
-def main():
-    src_files = {p: load(p) for p in cpp_files(SRC)}
-    test_files = {p: load(p) for p in cpp_files(TESTS)}
-    all_files = {**src_files, **test_files}
-
-    violations = []
-    violations += check_naked_new(all_files)
-    violations += check_rand(all_files)
-    violations += check_stdio(src_files)
-    violations += check_steppable_registration(src_files, test_files)
-    violations += check_knob_documented()
-    violations += check_knob_in_design()
-    violations += check_telemetry_taxonomy()
-    violations += check_anatomy_taxonomy()
-
-    if violations:
-        report(sorted(violations, key=lambda v: (str(v[0]), v[1])))
-        print(f"\nlint: {len(violations)} violation(s)")
-        return 1
-    nfiles = len(all_files)
-    print(f"lint: OK ({nfiles} files checked)")
-    return 0
-
+from nifdylint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,21 @@
+"""nifdylint: project-specific static analysis for the NIFDY simulator.
+
+The package splits the former tools/lint.py monolith into per-rule
+modules (tools/nifdylint/rules/) sharing one source model
+(common.py). Rules come in two families:
+
+* legacy hygiene rules (no-naked-new, stdio-funnel, taxonomy checks,
+  ...) carried over from lint.py, and
+* the determinism / hot-path contract of DESIGN.md section 10:
+  unordered-container iteration, pointer-keyed behavioral state,
+  non-project randomness, wall-clock reads, mutable statics, and
+  heap allocation inside NIFDY_HOT regions.
+
+Analysis runs on a comment/string-stripped token stream by default
+and upgrades to the clang AST (clangast.py) when clang++ and
+compile_commands.json are available.
+"""
+
+__version__ = "1.0"
+
+from .cli import main  # noqa: F401

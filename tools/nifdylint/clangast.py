@@ -1,0 +1,228 @@
+"""Optional clang-AST backend.
+
+When a clang++ and a compile_commands.json are available (CI
+installs clang; CMake exports the database with
+CMAKE_EXPORT_COMPILE_COMMANDS=ON), nifdylint re-derives the two
+rules that most benefit from real semantic information from the AST
+instead of token patterns:
+
+  hot-alloc      -- CXXNewExpr nodes inside functions carrying the
+                    HotAttr (NIFDY_HOT expands to
+                    __attribute__((hot))), which catches `new`
+                    reached through helpers/macros the tokenizer
+                    cannot see.
+  unordered-iter -- CXXForRangeStmt whose implicit __range variable
+                    has an unordered_{map,set} type, which catches
+                    iteration through typedefs/auto the token scan
+                    misses.
+
+The backend is strictly additive: findings are deduplicated against
+the token-level pass and honour the same `// nifdy:*-ok`
+annotations. Every per-TU failure (clang missing a flag, JSON too
+deep, ...) degrades silently to the token-level result -- the
+tokenizer remains the floor, the AST the bonus.
+"""
+
+import json
+import re
+import shutil
+import subprocess
+from pathlib import Path
+
+from .common import Violation
+
+#: Flags worth forwarding from the compile command to the syntax-only
+#: AST dump (include paths, defines, language mode).
+_KEEP_FLAG_RE = re.compile(r"^-(?:I|D|U|std=|isystem|f[-\w]+)")
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def clang_path():
+    return shutil.which("clang++")
+
+
+def find_compile_commands(root, explicit=None):
+    if explicit:
+        p = Path(explicit)
+        return p if p.is_file() else None
+    p = Path(root) / "build" / "compile_commands.json"
+    return p if p.is_file() else None
+
+
+def available(root, compile_commands=None):
+    return clang_path() is not None and \
+        find_compile_commands(root, compile_commands) is not None
+
+
+def _forwarded_flags(entry):
+    args = entry.get("arguments")
+    if not args:
+        args = entry.get("command", "").split()
+    flags, take_next = [], False
+    for a in args[1:]:
+        if take_next:
+            flags.append(a)
+            take_next = False
+        elif a in ("-I", "-D", "-isystem"):
+            flags.append(a)
+            take_next = True
+        elif _KEEP_FLAG_RE.match(a):
+            flags.append(a)
+    return flags
+
+
+def _dump_ast(clang, entry):
+    cmd = [clang, "-fsyntax-only", "-Xclang", "-ast-dump=json",
+           *_forwarded_flags(entry), entry["file"]]
+    proc = subprocess.run(cmd, cwd=entry.get("directory", "."),
+                          capture_output=True, text=True, timeout=300)
+    if not proc.stdout:
+        return None
+    return json.loads(proc.stdout)
+
+
+class _Walk:
+    """Iterative pre-order walk tracking clang's sticky locations:
+    the JSON omits file/line when unchanged from the previously
+    serialized location, so state threads through document order."""
+
+    def __init__(self):
+        self.file = None
+        self.line = None
+        self.hot_ranges = []   # (file, line0, line1)
+        self.new_exprs = []    # (file, line)
+        self.unordered_fors = []  # (file, line)
+
+    def _note_loc(self, loc):
+        if not isinstance(loc, dict):
+            return None
+        # Macro expansions carry the interesting position in
+        # expansionLoc; fall through to the plain spelling otherwise.
+        inner = loc.get("expansionLoc") or loc
+        if "file" in inner:
+            self.file = inner["file"]
+        if "line" in inner:
+            self.line = inner["line"]
+        return inner.get("line", self.line)
+
+    def _range_lines(self, rng):
+        if not isinstance(rng, dict):
+            return (None, None)
+        l0 = self._note_loc(rng.get("begin"))
+        l1 = self._note_loc(rng.get("end"))
+        return (l0, l1)
+
+    def visit(self, node):
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if not isinstance(n, dict):
+                continue
+            kind = n.get("kind", "")
+            self._note_loc(n.get("loc"))
+            l0, l1 = self._range_lines(n.get("range"))
+            here_file = self.file
+
+            if kind in ("FunctionDecl", "CXXMethodDecl",
+                        "CXXConstructorDecl", "CXXDestructorDecl"):
+                inner = n.get("inner", ())
+                if any(isinstance(c, dict) and
+                       c.get("kind") == "HotAttr" for c in inner) \
+                        and here_file and l0 and l1:
+                    self.hot_ranges.append((here_file, l0, l1))
+            elif kind == "CXXNewExpr" and here_file and l0:
+                self.new_exprs.append((here_file, l0))
+            elif kind == "CXXForRangeStmt" and here_file and l0:
+                qt = _range_var_type(n)
+                if qt and UNORDERED_TYPE_RE.search(qt):
+                    self.unordered_fors.append((here_file, l0))
+
+            # Children in document order: push reversed so the pop
+            # order matches serialization (sticky locations depend
+            # on it).
+            for child in reversed(n.get("inner", ())):
+                stack.append(child)
+
+
+def _range_var_type(for_node):
+    """qualType of the implicit __range variable of a range-for."""
+    stack = list(for_node.get("inner", ()))
+    while stack:
+        n = stack.pop()
+        if not isinstance(n, dict):
+            continue
+        if n.get("kind") == "VarDecl" and \
+                n.get("name", "").startswith("__range"):
+            return (n.get("type") or {}).get("qualType", "")
+        stack.extend(n.get("inner", ()))
+    return ""
+
+
+def _source_file_for(ctx, path_str):
+    try:
+        p = Path(path_str).resolve()
+    except OSError:
+        return None, None
+    for known, sf in ctx.src_files.items():
+        if known.resolve() == p:
+            return known, sf
+    return None, None
+
+
+def run(ctx, compile_commands=None):
+    """AST-backed findings, or [] when the backend is unavailable or
+    anything fails. Never raises."""
+    try:
+        clang = clang_path()
+        cc = find_compile_commands(ctx.root, compile_commands)
+        if not clang or not cc:
+            return []
+        entries = json.loads(cc.read_text())
+    except Exception:
+        return []
+
+    src = ctx.root / "src"
+    violations = []
+    for entry in entries:
+        try:
+            f = Path(entry.get("file", ""))
+            if f.suffix != ".cc":
+                continue
+            if not f.resolve().is_relative_to(src.resolve()):
+                continue
+            tu = _dump_ast(clang, entry)
+            if tu is None:
+                continue
+            walk = _Walk()
+            walk.visit(tu)
+        except Exception:
+            continue  # tokenizer remains the floor for this TU
+
+        hot_by_file = {}
+        for hf, l0, l1 in walk.hot_ranges:
+            hot_by_file.setdefault(hf, []).append((l0, l1))
+
+        for nf, line in walk.new_exprs:
+            ranges = hot_by_file.get(nf, ())
+            if not any(l0 <= line <= l1 for l0, l1 in ranges):
+                continue
+            path, sf = _source_file_for(ctx, nf)
+            if sf is None or sf.annotated(line, "alloc"):
+                continue
+            violations.append(Violation(
+                path, line, "hot-alloc",
+                "(AST) new-expression inside a NIFDY_HOT function; "
+                "recycle pre-sized storage or annotate "
+                "// nifdy:alloc-ok(<reason>)"))
+
+        for uf, line in walk.unordered_fors:
+            path, sf = _source_file_for(ctx, uf)
+            if sf is None or sf.annotated(line, "unordered"):
+                continue
+            violations.append(Violation(
+                path, line, "unordered-iter",
+                "(AST) range-for over an unordered container; order "
+                "is nondeterministic -- use an ordered container or "
+                "annotate // nifdy:unordered-ok(<why order-free>)"))
+    return violations

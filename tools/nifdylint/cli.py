@@ -1,0 +1,85 @@
+"""nifdylint command line.
+
+    python3 tools/lint.py                 # everything, token level
+    python3 -m nifdylint --list-rules
+    python3 -m nifdylint --rules hot-alloc,unordered-iter
+    python3 -m nifdylint --compile-commands build/compile_commands.json
+
+Exit status 0 when clean, 1 when any violation is found. The clang
+AST backend (clangast.py) runs automatically when clang++ and a
+compile_commands.json are present; --no-ast disables it, findings
+are deduplicated against the token-level pass.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import clangast
+from .common import Context
+from .rules import ALL_RULES
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="nifdylint",
+        description="Determinism, hot-path and project-convention "
+                    "lint for the NIFDY simulator (DESIGN.md "
+                    "section 10).")
+    ap.add_argument("--root", type=Path, default=DEFAULT_ROOT,
+                    help="repository root (default: the repo "
+                         "containing this tool)")
+    ap.add_argument("--rules",
+                    help="comma-separated subset of rules to run "
+                         "(default: all)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule ids and exit")
+    ap.add_argument("--no-ast", action="store_true",
+                    help="skip the clang AST backend even when "
+                         "available")
+    ap.add_argument("--compile-commands", metavar="PATH",
+                    help="compile_commands.json for the AST backend "
+                         "(default: <root>/build/"
+                         "compile_commands.json)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(ALL_RULES):
+            print(name)
+        return 0
+
+    selected = sorted(ALL_RULES)
+    if args.rules:
+        selected = [r.strip() for r in args.rules.split(",")
+                    if r.strip()]
+        unknown = [r for r in selected if r not in ALL_RULES]
+        if unknown:
+            print(f"nifdylint: unknown rule(s): {', '.join(unknown)} "
+                  "(see --list-rules)", file=sys.stderr)
+            return 2
+
+    ctx = Context.from_root(args.root)
+    violations = []
+    for name in selected:
+        violations += ALL_RULES[name](ctx)
+
+    if not args.no_ast:
+        seen = {(str(v.path), v.line, v.rule) for v in violations}
+        for v in clangast.run(ctx, args.compile_commands):
+            if v.rule in selected and \
+                    (str(v.path), v.line, v.rule) not in seen:
+                violations.append(v)
+
+    if violations:
+        for v in sorted(violations, key=lambda v: v.sort_key()):
+            print(v.render(args.root))
+        print(f"\nlint: {len(violations)} violation(s)")
+        return 1
+    print(f"lint: OK ({len(ctx.all_files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Shared source model for nifdylint rules.
+
+Every rule sees the repository through a Context: a dictionary of
+SourceFile objects carrying the raw text, a comment/string-stripped
+copy (line structure preserved, so reported line numbers stay
+accurate), and the parsed `// nifdy:<tag>-ok(<reason>)` annotations.
+"""
+
+import re
+from pathlib import Path
+
+CPP_SUFFIXES = {".cc", ".hh"}
+
+#: The determinism / hot-path annotation grammar (DESIGN.md section
+#: 10): `// nifdy:<tag>-ok(<reason>)` on the flagged line or the
+#: line immediately above it. The reason is mandatory; annotations
+#: without one are themselves violations (rule annotation-reason).
+ANNOTATION_RE = re.compile(
+    r"//\s*nifdy:([a-z][a-z-]*)-ok(?:\(([^()]*(?:\([^()]*\)[^()]*)*)\))?")
+
+KNOWN_TAGS = frozenset({
+    "unordered",   # iteration over an unordered container
+    "alloc",       # heap allocation inside a NIFDY_HOT region
+    "pointer",     # pointer-keyed/ordered behavioral container
+    "wallclock",   # time()/chrono clocks/getenv
+    "random",      # randomness not fed by nifdy::Rng
+    "static",      # mutable static state
+})
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(
+                "".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) +
+                       (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One C++ source file: raw text, stripped text, annotations."""
+
+    def __init__(self, path, raw=None):
+        self.path = Path(path)
+        self.raw = self.path.read_text() if raw is None else raw
+        self.text = strip_comments_and_strings(self.raw)
+        self.lines = self.text.splitlines()
+        #: {lineno: [(tag, reason-or-None), ...]} parsed from raw.
+        self.annotations = {}
+        for lineno, line in enumerate(self.raw.splitlines(), start=1):
+            for m in ANNOTATION_RE.finditer(line):
+                self.annotations.setdefault(lineno, []).append(
+                    (m.group(1), m.group(2)))
+
+    def annotated(self, lineno, tag):
+        """Is @p lineno covered by a `nifdy:<tag>-ok` annotation on
+        the same line or the line immediately above?"""
+        for at in (lineno, lineno - 1):
+            for got, _reason in self.annotations.get(at, ()):
+                if got == tag:
+                    return True
+        return False
+
+
+class Context:
+    """Everything a rule needs: the repo root and the loaded files."""
+
+    def __init__(self, root, src_files, test_files=None):
+        self.root = Path(root)
+        self.src_files = src_files
+        self.test_files = test_files or {}
+        self.all_files = {**src_files, **self.test_files}
+
+    @classmethod
+    def from_root(cls, root):
+        root = Path(root)
+        src = {p: SourceFile(p) for p in cpp_files(root / "src")}
+        tests = {p: SourceFile(p) for p in cpp_files(root / "tests")}
+        return cls(root, src, tests)
+
+
+class Violation:
+    """One finding: (path, line, rule, message), sortable."""
+
+    def __init__(self, path, line, rule, message):
+        self.path = Path(path)
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self):
+        return (str(self.path), self.line, self.rule)
+
+
+def cpp_files(*dirs):
+    for d in dirs:
+        d = Path(d)
+        if not d.is_dir():
+            continue
+        for p in sorted(d.rglob("*")):
+            if p.suffix in CPP_SUFFIXES:
+                yield p
+
+
+def find_on_lines(text, regex):
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if regex.search(line):
+            yield lineno, line.strip()
+
+
+def sibling_files(ctx, sf):
+    """The file itself plus its header/source counterpart (same stem,
+    same directory) -- the scope in which a member declared in the
+    header is used by the source file."""
+    out = [sf]
+    for other in ctx.all_files.values():
+        if (other is not sf and other.path.stem == sf.path.stem
+                and other.path.parent == sf.path.parent):
+            out.append(other)
+    return out
+
+
+def statement_start_line(sf, lineno):
+    """The line on which the statement containing @p lineno begins:
+    walk upward past continuation lines (a previous line that does
+    not end in ';', '{', '}', ':' keeps the statement open)."""
+    i = lineno
+    while i > 1:
+        prev = sf.lines[i - 2].rstrip() if i - 2 < len(sf.lines) else ""
+        if prev == "" or prev.endswith((";", "{", "}", ":", ">")):
+            break
+        i -= 1
+    return i
+
+
+def brace_matched_body(text, open_idx):
+    """(body, end_idx) for the brace block opening at @p open_idx."""
+    depth, i, n = 1, open_idx + 1, len(text)
+    while i < n and depth > 0:
+        depth += {"{": 1, "}": -1}.get(text[i], 0)
+        i += 1
+    return text[open_idx + 1:i - 1], i

@@ -1,0 +1,43 @@
+"""annotation-reason / annotation-tag: the escape hatches must
+justify themselves.
+
+Every `// nifdy:<tag>-ok(...)` annotation needs a non-empty reason
+-- a bare waiver tells the next reader nothing and rots silently --
+and must use a known tag so a typo cannot silently disable a rule.
+"""
+
+from ..common import KNOWN_TAGS, Violation
+
+
+def check_reason(ctx):
+    violations = []
+    for path, sf in ctx.all_files.items():
+        for lineno, anns in sorted(sf.annotations.items()):
+            for tag, reason in anns:
+                if reason is None or not reason.strip():
+                    violations.append(Violation(
+                        path, lineno, "annotation-reason",
+                        f"nifdy:{tag}-ok without a reason; write "
+                        f"// nifdy:{tag}-ok(<why this is safe>)"))
+    return violations
+
+
+def check_tag(ctx):
+    known = ", ".join(sorted(KNOWN_TAGS))
+    violations = []
+    for path, sf in ctx.all_files.items():
+        for lineno, anns in sorted(sf.annotations.items()):
+            for tag, _reason in anns:
+                if tag not in KNOWN_TAGS:
+                    violations.append(Violation(
+                        path, lineno, "annotation-tag",
+                        f"unknown annotation tag '{tag}' "
+                        f"(known: {known}); a typo here would "
+                        "silently disable a rule"))
+    return violations
+
+
+RULES = {
+    "annotation-reason": check_reason,
+    "annotation-tag": check_tag,
+}

@@ -1,0 +1,83 @@
+"""knob-documented / knob-in-design: config knobs must be
+discoverable.
+
+  knob-documented -- every fault.* / lossy.* / node.* / trace.* /
+                     metrics.* / anatomy.* config key read anywhere
+                     in src/ (getString/getInt/getDouble/getBool)
+                     must be listed in the CLI help text in
+                     src/harness/experiment.cc, so no fault-injection
+                     or telemetry knob is ever undiscoverable from
+                     the command line.
+  knob-in-design  -- every CLI knob in the knobDocs table of
+                     src/harness/experiment.cc (the --list-knobs
+                     source of truth) must be mentioned in DESIGN.md
+                     (backticked), so the design document never lags
+                     the command line.
+"""
+
+import re
+
+from ..common import Violation
+
+KNOB_RE = re.compile(
+    r'get(?:String|Int|Double|Bool)\s*\(\s*"'
+    r'((?:fault|lossy|node|trace|metrics|anatomy)\.[A-Za-z0-9_.]+)"')
+# One knobDocs[] entry: {"name", "default", "doc..."}. The name is
+# the first string of the brace initializer.
+KNOB_TABLE_RE = re.compile(r'\{"([A-Za-z][A-Za-z0-9.]*)",')
+
+
+def _cli_help_file(ctx):
+    return ctx.root / "src" / "harness" / "experiment.cc"
+
+
+def check_documented(ctx):
+    """Raw-text scan (the knob names live inside string literals,
+    which the stripped text blanks out)."""
+    violations = []
+    cli_help = _cli_help_file(ctx)
+    help_text = cli_help.read_text() if cli_help.is_file() else ""
+    src = ctx.root / "src"
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src):
+            continue
+        for lineno, line in enumerate(sf.raw.splitlines(), start=1):
+            for m in KNOB_RE.finditer(line):
+                knob = m.group(1)
+                if knob not in help_text:
+                    violations.append(Violation(
+                        path, lineno, "knob-documented",
+                        f"config key {knob} is missing from the CLI "
+                        "help in src/harness/experiment.cc"))
+    return violations
+
+
+def check_in_design(ctx):
+    """Every knob in the knobDocs table (--list-knobs) must appear
+    backticked somewhere in DESIGN.md."""
+    cli_help = _cli_help_file(ctx)
+    if not cli_help.is_file():
+        return []
+    text = cli_help.read_text()
+    m = re.search(r"const KnobDoc knobDocs\[\] = \{(.*?)\n\};", text,
+                  re.DOTALL)
+    if not m:
+        return [Violation(
+            cli_help, 1, "knob-in-design",
+            "knobDocs table not found (--list-knobs source)")]
+    design = (ctx.root / "DESIGN.md").read_text()
+    table_at = 1 + text[:m.start()].count("\n")
+    violations = []
+    for knob in KNOB_TABLE_RE.findall(m.group(1)):
+        if f"`{knob}`" not in design:
+            violations.append(Violation(
+                cli_help, table_at, "knob-in-design",
+                f"CLI knob {knob} is not documented (backticked) "
+                "in DESIGN.md"))
+    return violations
+
+
+RULES = {
+    "knob-documented": check_documented,
+    "knob-in-design": check_in_design,
+}

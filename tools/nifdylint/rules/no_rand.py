@@ -1,0 +1,21 @@
+"""no-rand: no rand()/srand(); all randomness must flow through
+seeded engines so runs are reproducible."""
+
+import re
+
+from ..common import Violation, find_on_lines
+
+RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
+
+
+def check(ctx):
+    violations = []
+    for path, sf in ctx.all_files.items():
+        for lineno, _ in find_on_lines(sf.text, RAND_RE):
+            violations.append(Violation(
+                path, lineno, "no-rand",
+                "rand()/srand(); use the seeded nifdy::Rng"))
+    return violations
+
+
+RULES = {"no-rand": check}

@@ -1,0 +1,44 @@
+"""pointer-keys: no pointer-keyed associative containers in
+behavioral code (src/).
+
+Pointer values depend on allocation order and ASLR, and this
+simulator recycles Packet objects through a pool, so a pointer key
+can silently alias two different packets. Key on a stable id
+(Packet::id, node id, channel index) instead, or annotate
+`// nifdy:pointer-ok(<reason>)` proving the container is
+membership-only and its order/hash never reaches behavior.
+"""
+
+import re
+
+from ..common import Violation
+
+#: Associative container whose first template argument is a pointer
+#: type: `std::map<Packet *, ...>`, `unordered_set<Channel *>`.
+PTR_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<"
+    r"\s*(?:const\s+)?[\w:]+\s*\*")
+
+TAG = "pointer"
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src):
+            continue
+        for lineno, line in enumerate(sf.lines, start=1):
+            if not PTR_KEY_RE.search(line):
+                continue
+            if sf.annotated(lineno, TAG):
+                continue
+            violations.append(Violation(
+                path, lineno, "pointer-keys",
+                "pointer-keyed associative container; pointer values "
+                "are ASLR/pool-dependent -- key on a stable id or "
+                "annotate // nifdy:pointer-ok(<why membership-only>)"))
+    return violations
+
+
+RULES = {"pointer-keys": check}

@@ -1,0 +1,45 @@
+"""randomness: all randomness in behavioral code must flow through
+the project's seeded Rng (src/sim/rng.hh).
+
+Raw <random> engines, std::random_device and std::shuffle introduce
+either nondeterminism (random_device) or implementation-defined
+sequences (distributions differ across standard libraries, and
+std::shuffle's use of the engine is unspecified). The project Rng
+gives the same stream on every platform. Annotate
+`// nifdy:random-ok(<reason>)` for the rare justified exception.
+"""
+
+import re
+
+from ..common import Violation
+
+RANDOM_RE = re.compile(
+    r"\b(?:std::)?(?:random_device|mt19937(?:_64)?|minstd_rand0?|"
+    r"ranlux\w+|knuth_b|default_random_engine|shuffle|"
+    r"\w+_distribution)\b")
+
+TAG = "random"
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    rng_impl = src / "sim" / "rng.hh"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src) or path == rng_impl:
+            continue
+        for lineno, line in enumerate(sf.lines, start=1):
+            if not RANDOM_RE.search(line):
+                continue
+            if sf.annotated(lineno, TAG):
+                continue
+            violations.append(Violation(
+                path, lineno, "randomness",
+                "raw <random> machinery; draw from the seeded "
+                "nifdy::Rng so streams are identical across "
+                "platforms, or annotate "
+                "// nifdy:random-ok(<reason>)"))
+    return violations
+
+
+RULES = {"randomness": check}

@@ -1,0 +1,65 @@
+"""static-state: no mutable static or thread_local state in
+behavioral code (src/).
+
+Mutable statics survive across Kernel instances, so a second
+experiment in the same process starts from polluted state and the
+double-run determinism gate (tests/test_determinism.cc) diverges.
+Constants (`static const` / `static constexpr`) and static member
+*functions* are fine. Harness singletons that are provably reset or
+non-behavioral carry `// nifdy:static-ok(<reason>)`.
+"""
+
+import re
+
+from ..common import Violation, statement_start_line
+
+#: `static` / `thread_local static` not introducing a constant.
+#: `static_cast` / `static_assert` don't match (\b stops at `_`).
+STATIC_RE = re.compile(
+    r"^\s*(?:thread_local\s+)?static\s+(?!const\b|constexpr\b)")
+
+TAG = "static"
+
+
+def _statement(sf, lineno):
+    """The statement starting at @p lineno, joined up to the first
+    line ending in ';' or '{' (bounded lookahead)."""
+    parts = []
+    for i in range(lineno, min(lineno + 8, len(sf.lines) + 1)):
+        line = sf.lines[i - 1]
+        parts.append(line)
+        if line.rstrip().endswith((";", "{")):
+            break
+    return " ".join(parts)
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src):
+            continue
+        for lineno, line in enumerate(sf.lines, start=1):
+            if not STATIC_RE.search(line):
+                continue
+            stmt = _statement(sf, lineno)
+            # Function declarations/definitions (`static T f(...)`)
+            # declare no state: skip statements that open a parameter
+            # list before any initializer.
+            paren = stmt.find("(")
+            eq = stmt.find("=")
+            if paren >= 0 and (eq < 0 or paren < eq):
+                continue
+            if sf.annotated(lineno, TAG) or \
+                    sf.annotated(statement_start_line(sf, lineno), TAG):
+                continue
+            violations.append(Violation(
+                path, lineno, "static-state",
+                "mutable static state in behavioral code; state "
+                "must live in objects owned by the Kernel's "
+                "components so runs are repeatable in-process -- "
+                "or annotate // nifdy:static-ok(<reason>)"))
+    return violations
+
+
+RULES = {"static-state": check}

@@ -1,0 +1,39 @@
+"""stdio-funnel: no stdio I/O calls outside src/sim/log.cc (the
+single output funnel). Pure formatting via snprintf/vsnprintf is
+allowed anywhere."""
+
+import re
+
+from ..common import Violation, find_on_lines
+
+# stdio calls that count as I/O. snprintf/vsnprintf are absent on
+# purpose: they only format into caller-provided buffers. The
+# look-behind keeps `printf` inside `snprintf` from matching.
+STDIO_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(?:std::)?"
+    r"(printf|fprintf|vprintf|vfprintf|sprintf|vsprintf|"
+    r"puts|fputs|putc|fputc|putchar|fwrite|fread|fgets|fgetc|getc|"
+    r"getchar|scanf|fscanf|sscanf|fopen|freopen|fclose|fflush|perror)"
+    r"\s*\("
+)
+IOSTREAM_RE = re.compile(r"std::(cout|cerr|clog)\b")
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    funnel = src / "sim" / "log.cc"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src) or path == funnel:
+            continue
+        for regex, what in ((STDIO_RE, "stdio call"),
+                            (IOSTREAM_RE, "iostream global")):
+            for lineno, _ in find_on_lines(sf.text, regex):
+                violations.append(Violation(
+                    path, lineno, "stdio-funnel",
+                    f"{what} outside src/sim/log.cc; route output "
+                    "through inform()/warn()/printRaw()"))
+    return violations
+
+
+RULES = {"stdio-funnel": check}

@@ -1,0 +1,127 @@
+"""steppable-tested: every concrete Steppable subclass must be
+exercised by the test suite under a Kernel: referenced from tests/,
+in a file that either registers components itself (.add(...)) or
+uses a registering type (a class whose implementation calls
+kernel.add, e.g. Topology, Experiment, the test harnesses).
+Abstract classes (declaring a pure virtual) are exempt."""
+
+import re
+
+from ..common import Violation
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(?::\s*([^{;]*?))?\{"
+)
+PURE_VIRTUAL_RE = re.compile(r"=\s*0\s*;")
+
+
+def parse_classes(files):
+    """Return {name: (path, body, bases)} for every class/struct with
+    a body. Bases is the list of base-class identifiers."""
+    classes = {}
+    for path, sf in files.items():
+        text = sf.text
+        for m in CLASS_RE.finditer(text):
+            name, baselist = m.group(1), m.group(2) or ""
+            bases = [
+                b for b in re.findall(r"[A-Za-z_]\w*", baselist)
+                if b not in ("public", "protected", "private",
+                             "virtual")
+            ]
+            # Extract the class body by brace matching.
+            depth, i = 1, m.end()
+            while i < len(text) and depth > 0:
+                depth += {"{": 1, "}": -1}.get(text[i], 0)
+                i += 1
+            classes[name] = (path, text[m.end():i - 1], bases)
+    return classes
+
+
+def check(ctx):
+    all_files = ctx.all_files
+    test_files = ctx.test_files
+    classes = parse_classes(all_files)
+
+    # Subclass closure of Steppable.
+    steppables = {"Steppable"}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, _, bases) in classes.items():
+            if name not in steppables and steppables & set(bases):
+                steppables.add(name)
+                changed = True
+    steppables.discard("Steppable")
+
+    # Types whose own translation units register components with a
+    # kernel (e.g. Topology, Experiment, the test harnesses): using
+    # one of these in a test counts as kernel registration.
+    registering = set()
+    for name, (path, _, _) in classes.items():
+        stem_files = [p for p in all_files
+                      if p.stem == path.stem and p.parent == path.parent]
+        for p in stem_files:
+            if re.search(r"\bkernel_?\.add\s*\(", all_files[p].text):
+                registering.add(name)
+    # A subclass of a registering type registers too (Topology
+    # subclasses inherit the behaviour).
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, _, bases) in classes.items():
+            if name not in registering and registering & set(bases):
+                registering.add(name)
+                changed = True
+
+    def connected_to_kernel(text):
+        if re.search(r"\.\s*add\s*\(", text):
+            return True
+        return any(re.search(rf"\b{t}\b", text) for t in registering)
+
+    def files_of(name):
+        path = classes[name][0]
+        return [p for p in all_files
+                if p.stem == path.stem and p.parent == path.parent]
+
+    def owner_registered(name):
+        """True when a registering type instantiates @p name in its
+        own translation unit (e.g. a Network building its routers)
+        and that type is itself referenced from tests/."""
+        for r in registering:
+            if r not in classes:
+                continue
+            instantiates = any(
+                re.search(rf"make_unique<\s*{name}\b",
+                          all_files[p].text)
+                for p in files_of(r))
+            if instantiates and any(
+                    re.search(rf"\b{r}\b", t.text) for t in
+                    test_files.values()):
+                return True
+        return False
+
+    violations = []
+    for name in sorted(steppables):
+        path, body, _ = classes[name]
+        if PURE_VIRTUAL_RE.search(body):
+            continue  # abstract: cannot be instantiated directly
+        exercised = False
+        for tpath, tsf in test_files.items():
+            if re.search(rf"\b{name}\b", tsf.text) and \
+                    connected_to_kernel(tsf.text):
+                exercised = True
+                break
+        if not exercised and owner_registered(name):
+            exercised = True
+        if not exercised:
+            text = all_files[path].text
+            violations.append(Violation(
+                path, 1 + text[:text.find(name)].count("\n"),
+                "steppable-tested",
+                f"Steppable subclass {name} is never registered "
+                "with a Kernel in tests/"))
+    return violations
+
+
+RULES = {"steppable-tested": check}

@@ -1,0 +1,66 @@
+"""unordered-iter: no iteration over unordered containers in
+behavioral code (src/).
+
+Hash-table iteration order depends on the allocator, the hash seed
+and the insertion history, so any behavior (or [[noreturn]] failure
+report) derived from it is nondeterministic across runs, ASLR seeds
+and standard libraries. Keyed lookup/erase stays fine; iteration must
+either move to an ordered container or carry
+`// nifdy:unordered-ok(<reason>)` proving the loop body is
+order-free (commutative reduction, membership copy, ...).
+"""
+
+import re
+
+from ..common import Violation, sibling_files
+
+#: A declaration whose declarator ends on the same line:
+#: `std::unordered_map<K, V> name;` / `... name{...};` / `... name =`.
+DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s*(\w+)\s*[;={]")
+
+TAG = "unordered"
+
+
+def _iter_res(name):
+    return (
+        # range-for over the container (possibly via this->/obj.).
+        re.compile(rf"for\s*\([^;()]*:\s*[\w.\->]*\b{name}\s*\)"),
+        # explicit iterator loop.
+        re.compile(rf"\b{name}\s*\.\s*c?begin\s*\("),
+    )
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src):
+            continue
+        # Names of unordered containers visible to this file: declared
+        # here or in the header/source sibling (same stem).
+        names = set()
+        for scope in sibling_files(ctx, sf):
+            for line in scope.lines:
+                m = DECL_RE.search(line)
+                if m:
+                    names.add(m.group(1))
+        if not names:
+            continue
+        for name in sorted(names):
+            regexes = _iter_res(name)
+            for lineno, line in enumerate(sf.lines, start=1):
+                if not any(r.search(line) for r in regexes):
+                    continue
+                if sf.annotated(lineno, TAG):
+                    continue
+                violations.append(Violation(
+                    path, lineno, "unordered-iter",
+                    f"iteration over unordered container '{name}'; "
+                    "order is nondeterministic -- use an ordered "
+                    "container or annotate "
+                    "// nifdy:unordered-ok(<why order-free>)"))
+    return violations
+
+
+RULES = {"unordered-iter": check}

@@ -1,0 +1,42 @@
+"""wallclock: no wall-clock or environment reads in behavioral code
+(src/).
+
+Simulated time is the only clock: anything keyed off time(),
+std::chrono clocks, clock() or getenv() makes a run depend on the
+machine it ran on. Harness-level opt-ins (read once at startup,
+never behavioral) carry `// nifdy:wallclock-ok(<reason>)`.
+"""
+
+import re
+
+from ..common import Violation
+
+WALLCLOCK_RE = re.compile(
+    r"(?:\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![A-Za-z0-9_.:>])time\s*\("
+    r"|(?<![A-Za-z0-9_])clock\s*\("
+    r"|\bgetenv\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\()")
+
+TAG = "wallclock"
+
+
+def check(ctx):
+    src = ctx.root / "src"
+    violations = []
+    for path, sf in ctx.src_files.items():
+        if not path.is_relative_to(src):
+            continue
+        for lineno, line in enumerate(sf.lines, start=1):
+            if not WALLCLOCK_RE.search(line):
+                continue
+            if sf.annotated(lineno, TAG):
+                continue
+            violations.append(Violation(
+                path, lineno, "wallclock",
+                "wall-clock/environment read in behavioral code; "
+                "simulated Cycle time is the only clock -- or "
+                "annotate // nifdy:wallclock-ok(<reason>)"))
+    return violations
+
+
+RULES = {"wallclock": check}
