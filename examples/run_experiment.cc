@@ -10,6 +10,11 @@
  *   workload=KIND   heavy (default), light, cshift, idle
  *   cycles=N        cycle budget (default 200000); cshift stops
  *                   early when the pattern completes
+ *   timeout=N       hard cycle guard (0 = off): cap the budget at N
+ *                   cycles and note run.timeout in the report when
+ *                   the workload did not finish -- the self-guard a
+ *                   campaign supervisor sets so a wedged config
+ *                   reports itself instead of hanging
  *   words=N         cshift payload words per pair (default 120)
  *   csv=true        emit the summary table as CSV too
  *   help=true       print the full key reference
@@ -46,6 +51,8 @@ main(int argc, char **argv)
             printRaw("workload\theavy\t"
                      "workload kind: heavy, light, cshift, idle\n"
                      "cycles\t200000\tcycle budget\n"
+                     "timeout\t0\thard cycle guard; note run.timeout "
+                     "when the workload did not finish (0 = off)\n"
                      "words\t120\tcshift payload words per pair\n"
                      "csv\tfalse\temit the summary table as CSV too\n");
             return 0;
@@ -59,6 +66,8 @@ main(int argc, char **argv)
                  "  workload=KIND          heavy, light, cshift, "
                  "idle\n"
                  "  cycles=N               cycle budget\n"
+                 "  timeout=N              hard cycle guard (0 = "
+                 "off)\n"
                  "  words=N                cshift payload words per "
                  "pair\n"
                  "  csv=BOOL               CSV summary table\n"
@@ -69,6 +78,15 @@ main(int argc, char **argv)
 
     ExperimentConfig cfg = experimentFromConfig(conf);
     Cycle cycles = conf.getInt("cycles", 200000);
+    long timeoutRaw = conf.getInt("timeout", 0);
+    fatal_if(timeoutRaw < 0, "timeout must be >= 0");
+    Cycle timeout = static_cast<Cycle>(timeoutRaw);
+    // The guard caps the budget; a workload that needed more cycles
+    // shows up as run.timeout=1 in the report instead of running
+    // (or hanging) unbounded under a campaign supervisor.
+    Cycle budget = cycles;
+    if (timeout > 0 && timeout < budget)
+        budget = timeout;
     std::string workload = conf.getString("workload", "heavy");
 
     Experiment exp(cfg);
@@ -99,15 +117,25 @@ main(int argc, char **argv)
               workload.c_str());
     }
 
+    Cycle ran;
     if (workload == "cshift")
-        exp.runUntilDone(cycles);
+        ran = exp.runUntilDone(budget);
     else
-        exp.runFor(cycles);
+        ran = exp.runFor(budget);
 
     RunReport rep("run_experiment");
     rep.echoConfig(conf);
     rep.echoConfig("workload", workload);
     exp.fillReport(rep);
+    bool hitGuard = timeout > 0 && budget < cycles && !exp.allDone();
+    if (hitGuard) {
+        rep.addMetric("run.timeout", std::uint64_t(1));
+        rep.addNote("TIMEOUT: workload '" + workload +
+                    "' did not finish within the timeout=" +
+                    std::to_string(timeout) + " cycle guard (ran " +
+                    std::to_string(ran) + " of a " +
+                    std::to_string(cycles) + "-cycle budget)");
+    }
     rep.print(conf.getBool("csv", false));
     if (!jsonPath.empty())
         rep.writeJson(jsonPath);

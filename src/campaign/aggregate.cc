@@ -1,0 +1,188 @@
+#include "campaign/aggregate.hh"
+
+#include <algorithm>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/report.hh"
+
+namespace nifdy
+{
+
+std::string
+validateWorkerReport(const std::string &path, JsonValue *out)
+{
+    std::string err;
+    JsonValue v = parseJsonFile(path, &err);
+    if (!err.empty())
+        return "report " + path + ": " + err;
+    if (!v.isObject())
+        return "report " + path + ": not a JSON object";
+    if (v.getString("schema") != reportSchema)
+        return "report " + path + ": schema '" +
+               v.getString("schema") + "' is not " + reportSchema;
+    const JsonValue *config = v.find("config");
+    const JsonValue *metrics = v.find("metrics");
+    if (!config || !config->isObject())
+        return "report " + path + ": missing config object";
+    if (!metrics || !metrics->isObject())
+        return "report " + path + ": missing metrics object";
+    if (out)
+        *out = std::move(v);
+    return "";
+}
+
+Aggregate::Aggregate(std::string campaignName, std::uint64_t specHash)
+    : name_(std::move(campaignName)), specHash_(specHash)
+{}
+
+void
+Aggregate::addDone(const CampaignJob &job, const JsonValue &report,
+                   int fails)
+{
+    Entry e;
+    e.job = job;
+    e.fails = fails;
+    e.report = report;
+    entries_.push_back(std::move(e));
+}
+
+void
+Aggregate::addFailed(const CampaignJob &job, int fails,
+                     const std::string &lastKind)
+{
+    Entry e;
+    e.job = job;
+    e.failed = true;
+    e.fails = fails;
+    e.lastKind = lastKind;
+    entries_.push_back(std::move(e));
+}
+
+int
+Aggregate::doneJobs() const
+{
+    int n = 0;
+    for (const Entry &e : entries_)
+        n += e.failed ? 0 : 1;
+    return n;
+}
+
+int
+Aggregate::failedJobs() const
+{
+    return static_cast<int>(entries_.size()) - doneJobs();
+}
+
+std::string
+Aggregate::json() const
+{
+    std::vector<const Entry *> ordered;
+    ordered.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->job.index < b->job.index;
+              });
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", aggregateSchema);
+    w.field("name", name_);
+    w.field("spec", hex16(specHash_));
+    w.field("jobs", static_cast<std::uint64_t>(ordered.size()));
+    w.field("failed", static_cast<std::uint64_t>(failedJobs()));
+    w.key("results");
+    w.beginArray();
+    for (const Entry *e : ordered) {
+        w.beginObject();
+        w.field("index", static_cast<std::int64_t>(e->job.index));
+        w.field("job", e->job.hex());
+        w.key("config");
+        w.beginObject();
+        for (const auto &kv : e->job.knobs)
+            w.field(kv.first, kv.second);
+        w.endObject();
+        w.field("status", e->failed ? "failed" : "ok");
+        w.field("failures", static_cast<std::int64_t>(e->fails));
+        if (e->failed) {
+            w.field("error", e->lastKind);
+        } else {
+            // Splice the worker's metrics verbatim: raw number
+            // tokens, source member order (already sorted by the
+            // report writer's std::map).
+            const JsonValue *metrics = e->report.find("metrics");
+            w.key("metrics");
+            w.raw(metrics->render());
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::string out = w.take();
+    out.push_back('\n');
+    return out;
+}
+
+Table
+Aggregate::table(const std::vector<std::string> &sweptKeys) const
+{
+    std::vector<const Entry *> ordered;
+    ordered.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->job.index < b->job.index;
+              });
+
+    // Headline metrics shown when any report carries them.
+    const std::vector<std::string> headline = {
+        "run.packets.delivered", "run.goodput", "nic.latency.p50",
+        "nic.latency.p99"};
+    std::vector<std::string> shown;
+    for (const std::string &m : headline)
+        for (const Entry *e : ordered) {
+            const JsonValue *metrics =
+                e->failed ? nullptr : e->report.find("metrics");
+            if (metrics && metrics->find(m)) {
+                shown.push_back(m);
+                break;
+            }
+        }
+
+    Table t("campaign " + name_);
+    std::vector<std::string> cols = {"job"};
+    cols.insert(cols.end(), sweptKeys.begin(), sweptKeys.end());
+    cols.push_back("seed");
+    cols.push_back("status");
+    cols.push_back("failures");
+    cols.insert(cols.end(), shown.begin(), shown.end());
+    t.header(cols);
+    for (const Entry *e : ordered) {
+        std::vector<std::string> row = {Table::num(
+            static_cast<long>(e->job.index))};
+        auto knob = [&](const std::string &k) {
+            auto it = e->job.knobs.find(k);
+            return it == e->job.knobs.end() ? std::string("-")
+                                            : it->second;
+        };
+        for (const std::string &k : sweptKeys)
+            row.push_back(knob(k));
+        row.push_back(knob("seed"));
+        row.push_back(e->failed ? "FAILED(" + e->lastKind + ")"
+                                : "ok");
+        row.push_back(Table::num(static_cast<long>(e->fails)));
+        const JsonValue *metrics =
+            e->failed ? nullptr : e->report.find("metrics");
+        for (const std::string &m : shown) {
+            const JsonValue *v = metrics ? metrics->find(m) : nullptr;
+            row.push_back(v && v->isNumber() ? v->number : "-");
+        }
+        t.row(row);
+    }
+    return t;
+}
+
+} // namespace nifdy

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Campaign result aggregation.
+ *
+ * Collects the validated nifdy-report-1 documents of completed jobs
+ * (plus the terminal state of jobs that exhausted their retries)
+ * into one campaign-aggregate-1 JSON document and a comparative
+ * stdout table. The aggregate is a pure function of the expanded
+ * job list and the per-job worker reports -- never of scheduling
+ * order, retry timing, or how often the engine was killed and
+ * resumed -- which is what makes the byte-identity resume contract
+ * testable: interrupted + resumed and uninterrupted runs must
+ * produce the same bytes. Worker metric values are spliced in
+ * verbatim (raw number tokens) so no float round-trip can perturb
+ * them.
+ */
+
+#ifndef NIFDY_CAMPAIGN_AGGREGATE_HH
+#define NIFDY_CAMPAIGN_AGGREGATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/jsonin.hh"
+#include "sim/table.hh"
+
+namespace nifdy
+{
+
+inline constexpr const char *aggregateSchema = "campaign-aggregate-1";
+
+/**
+ * Validate a worker report document at @p path: it must parse, be a
+ * nifdy-report-1 object, and carry config + metrics objects.
+ * Returns "" and fills @p out on success, else a diagnosis.
+ */
+std::string validateWorkerReport(const std::string &path,
+                                 JsonValue *out);
+
+class Aggregate
+{
+  public:
+    Aggregate(std::string campaignName, std::uint64_t specHash);
+
+    /** Record a completed job and its validated report. */
+    void addDone(const CampaignJob &job, const JsonValue &report,
+                 int fails);
+
+    /** Record a job that exhausted its retries. */
+    void addFailed(const CampaignJob &job, int fails,
+                   const std::string &lastKind);
+
+    /** The campaign-aggregate-1 document (jobs by index). */
+    std::string json() const;
+
+    /**
+     * Comparative stdout table: one row per job -- the swept knobs
+     * (@p sweptKeys), status, and the headline metrics every bench
+     * report carries (delivered packets, goodput, p50/p99 latency)
+     * when present.
+     */
+    Table table(const std::vector<std::string> &sweptKeys) const;
+
+    int doneJobs() const;
+    int failedJobs() const;
+
+  private:
+    struct Entry
+    {
+        CampaignJob job;
+        bool failed = false;
+        int fails = 0;
+        std::string lastKind;
+        JsonValue report;
+    };
+
+    /** Entries sorted by job index (insertion keeps order). */
+    std::vector<Entry> entries_;
+    std::string name_;
+    std::uint64_t specHash_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_CAMPAIGN_AGGREGATE_HH

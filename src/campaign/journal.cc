@@ -1,0 +1,152 @@
+#include "campaign/journal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/jsonin.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+const std::string &
+JournalRecord::ev() const
+{
+    auto it = fields.find("ev");
+    static const std::string none; // nifdy:static-ok(immutable empty fallback)
+    return it == fields.end() ? none : it->second;
+}
+
+std::string
+JournalRecord::get(const std::string &key,
+                   const std::string &fallback) const
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+}
+
+long
+JournalRecord::getInt(const std::string &key, long fallback) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return fallback;
+    long v = 0;
+    auto res = std::from_chars(it->second.data(),
+                               it->second.data() + it->second.size(),
+                               v);
+    fatal_if(res.ec != std::errc() ||
+                 res.ptr != it->second.data() + it->second.size(),
+             "journal field %s='%s' is not an integer", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+Journal::Journal(std::string path, long failpoint)
+    : path_(std::move(path)), failpoint_(failpoint)
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    fatal_if(fd_ < 0, "cannot open campaign journal %s",
+             path_.c_str());
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Journal::append(const std::string &jsonObjectLine)
+{
+    std::string line = jsonObjectLine;
+    line.push_back('\n');
+    const char *p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd_, p, left);
+        fatal_if(n <= 0, "short write on campaign journal %s",
+                 path_.c_str());
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    fatal_if(::fsync(fd_) != 0, "fsync failed on campaign journal %s",
+             path_.c_str());
+    ++appends_;
+    // Crash-injection hook: die as if kill -9'd right after this
+    // append reached the disk (no destructors, no buffers flushed).
+    if (failpoint_ > 0 && appends_ >= failpoint_)
+        ::_exit(137);
+}
+
+std::vector<JournalRecord>
+Journal::replay(const std::string &path, bool *tornTail)
+{
+    if (tornTail)
+        *tornTail = false;
+    std::vector<JournalRecord> out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return out;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        bool complete = nl != std::string::npos;
+        std::string line =
+            text.substr(pos, complete ? nl - pos : std::string::npos);
+        pos = complete ? nl + 1 : text.size();
+        ++lineNo;
+
+        if (!complete) {
+            // The one legal kind of damage: the final append was
+            // interrupted mid-line, leaving a prefix with no newline
+            // (append() writes record + '\n' in a single write()).
+            // The prefix may or may not parse; either way it was
+            // never acknowledged, so discard it.
+            warn("campaign journal %s: discarding torn final line "
+                 "%zu",
+                 path.c_str(), lineNo);
+            if (tornTail)
+                *tornTail = true;
+            break;
+        }
+        std::string err;
+        JsonValue v = parseJson(line, &err);
+        fatal_if(!err.empty() || !v.isObject(),
+                 "campaign journal %s line %zu is corrupt (%s); only "
+                 "a torn final line is recoverable",
+                 path.c_str(), lineNo,
+                 err.empty() ? "not an object" : err.c_str());
+        JournalRecord rec;
+        for (const auto &kv : v.members) {
+            switch (kv.second.kind) {
+            case JsonValue::Kind::String:
+                rec.fields[kv.first] = kv.second.text;
+                break;
+            case JsonValue::Kind::Number:
+                rec.fields[kv.first] = kv.second.number;
+                break;
+            case JsonValue::Kind::Bool:
+                rec.fields[kv.first] =
+                    kv.second.boolean ? "true" : "false";
+                break;
+            default:
+                break; // nested values are not used by replay
+            }
+        }
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace nifdy

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Write-ahead journal for the campaign engine.
+ *
+ * Every job state transition (start, ok, fail, dead) is appended as
+ * one JSON line and fsync'd before the engine acts on it, so a
+ * `kill -9` of the engine at any instant loses at most work that had
+ * not yet been journaled -- never the record of work that *was*
+ * done. Replay is idempotent: records are keyed by the job's config
+ * hash, duplicate completion records collapse, and a torn final line
+ * (the append the crash interrupted) is tolerated and discarded.
+ * Torn or unparseable lines anywhere *before* the final line mean
+ * real corruption and are fatal. See DESIGN.md section 11.
+ */
+
+#ifndef NIFDY_CAMPAIGN_JOURNAL_HH
+#define NIFDY_CAMPAIGN_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nifdy
+{
+
+inline constexpr const char *journalSchema = "campaign-journal-1";
+
+/** One replayed journal line: the record's scalar fields, with
+ * numbers kept as their raw tokens. */
+struct JournalRecord
+{
+    std::map<std::string, std::string> fields;
+
+    const std::string &ev() const;
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+    long getInt(const std::string &key, long fallback) const;
+};
+
+class Journal
+{
+  public:
+    /**
+     * Open @p path for appending (created if absent). @p failpoint
+     * is a crash-injection test hook: when positive, the process
+     * _exit(137)s -- indistinguishable from `kill -9` -- immediately
+     * after the @p failpoint-th successful append of this Journal
+     * instance.
+     */
+    explicit Journal(std::string path, long failpoint = 0);
+    ~Journal();
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Append one record (an object rendered without the trailing
+     * newline) and fsync before returning. */
+    void append(const std::string &jsonObjectLine);
+
+    /** Appends performed by this instance (test visibility). */
+    long appends() const { return appends_; }
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Read every intact record of the journal at @p path, in order.
+     * A missing file yields an empty vector. A torn final line is
+     * discarded (and reported through @p tornTail when non-null);
+     * malformed content before the final line is fatal().
+     */
+    static std::vector<JournalRecord>
+    replay(const std::string &path, bool *tornTail = nullptr);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    long appends_ = 0;
+    long failpoint_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_CAMPAIGN_JOURNAL_HH

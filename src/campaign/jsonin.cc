@@ -1,0 +1,430 @@
+#include "campaign/jsonin.hh"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue document(std::string *err)
+    {
+        JsonValue v;
+        if (!value(v) || (skipWs(), pos_ != text_.size())) {
+            if (ok_)
+                fail("trailing garbage after the document");
+            if (err)
+                *err = error_;
+            return JsonValue{};
+        }
+        if (err)
+            err->clear();
+        return v;
+    }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (ok_) {
+            ok_ = false;
+            std::ostringstream os;
+            os << what << " at byte " << pos_;
+            error_ = os.str();
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("truncated document");
+        switch (text_[pos_]) {
+        case '{':
+            return object(out);
+        case '[':
+            return array(out);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        default:
+            return number(out);
+        }
+    }
+
+    bool object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("truncated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("truncated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool hex4(unsigned &cp)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + i];
+            unsigned d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = 10 + (c - 'a');
+            else if (c >= 'A' && c <= 'F')
+                d = 10 + (c - 'A');
+            else
+                return fail("bad \\u escape digit");
+            cp = cp * 16 + d;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool string(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(e);
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if (pos_ + 2 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail("lone high surrogate");
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool number(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_, ++n;
+            return n;
+        };
+        std::size_t intStart = pos_;
+        if (digits() == 0)
+            return fail("expected a value");
+        if (text_[intStart] == '0' && pos_ - intStart > 1)
+            return fail("leading zero");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                return fail("bad fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                return fail("bad exponent");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::string(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+void
+renderInto(const JsonValue &v, JsonWriter &w)
+{
+    switch (v.kind) {
+    case JsonValue::Kind::Null:
+        w.valueNull();
+        break;
+    case JsonValue::Kind::Bool:
+        w.value(v.boolean);
+        break;
+    case JsonValue::Kind::Number:
+        w.raw(v.number);
+        break;
+    case JsonValue::Kind::String:
+        w.value(v.text);
+        break;
+    case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &item : v.items)
+            renderInto(item, w);
+        w.endArray();
+        break;
+    case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &kv : v.members) {
+            w.key(kv.first);
+            renderInto(kv.second, w);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &kv : members)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(std::string_view key,
+                     const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return fallback;
+    switch (v->kind) {
+    case Kind::String:
+        return v->text;
+    case Kind::Number:
+        return v->number;
+    case Kind::Bool:
+        return v->boolean ? "true" : "false";
+    default:
+        return fallback;
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    panic_if(kind != Kind::Number, "JsonValue::asDouble on non-number");
+    double v = 0;
+    // from_chars, not strtod: locale-independent like the writer.
+    auto res = std::from_chars(number.data(),
+                               number.data() + number.size(), v);
+    panic_if(res.ec != std::errc() ||
+                 res.ptr != number.data() + number.size(),
+             "bad JSON number '%s'", number.c_str());
+    return v;
+}
+
+long
+JsonValue::asInt() const
+{
+    panic_if(kind != Kind::Number, "JsonValue::asInt on non-number");
+    long v = 0;
+    auto res = std::from_chars(number.data(),
+                               number.data() + number.size(), v);
+    panic_if(res.ec != std::errc() ||
+                 res.ptr != number.data() + number.size(),
+             "JSON number '%s' is not an integer", number.c_str());
+    return v;
+}
+
+std::string
+JsonValue::render() const
+{
+    JsonWriter w;
+    renderInto(*this, w);
+    return w.take();
+}
+
+JsonValue
+parseJson(std::string_view text, std::string *err)
+{
+    return Parser(text).document(err);
+}
+
+JsonValue
+parseJsonFile(const std::string &path, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return JsonValue{};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseJson(buf.str(), err);
+}
+
+} // namespace nifdy

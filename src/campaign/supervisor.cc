@@ -1,0 +1,124 @@
+#include "campaign/supervisor.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+Supervisor::Supervisor(double termGraceMs) : termGraceMs_(termGraceMs)
+{}
+
+Supervisor::~Supervisor()
+{
+    killAll();
+}
+
+bool
+Supervisor::launch(const std::vector<std::string> &argv,
+                   const std::string &logPath, int attempt,
+                   double deadlineMs, int token)
+{
+    panic_if(argv.empty(), "launch with empty argv");
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return false;
+    if (pid == 0) {
+        // Child. Own process group, so a timeout kill reaps any
+        // grandchildren the worker may have spawned.
+        ::setpgid(0, 0);
+        int logFd = ::open(logPath.c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (logFd >= 0) {
+            ::dup2(logFd, STDOUT_FILENO);
+            ::dup2(logFd, STDERR_FILENO);
+            ::close(logFd);
+        }
+        char attemptBuf[16];
+        std::snprintf(attemptBuf, sizeof attemptBuf, "%d", attempt);
+        ::setenv("NIFDY_CAMPAIGN_ATTEMPT", attemptBuf, 1);
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            cargv.push_back(const_cast<char *>(a.c_str()));
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127); // exec failed; classified as a worker crash
+    }
+    // Parent. Mirror the setpgid so the race is closed either way.
+    ::setpgid(pid, pid);
+    Worker w;
+    w.pid = pid;
+    w.token = token;
+    w.deadlineMs = deadlineMs;
+    workers_.push_back(w);
+    return true;
+}
+
+std::vector<std::pair<int, WorkerExit>>
+Supervisor::poll(double nowMs)
+{
+    std::vector<std::pair<int, WorkerExit>> finished;
+    for (std::size_t i = 0; i < workers_.size();) {
+        Worker &w = workers_[i];
+
+        // Deadline escalation: SIGTERM at the deadline, SIGKILL to
+        // the whole process group one grace period later.
+        if (!w.termSent && nowMs >= w.deadlineMs) {
+            w.termSent = true;
+            w.timedOut = true;
+            w.killAtMs = nowMs + termGraceMs_;
+            ::kill(-w.pid, SIGTERM);
+        } else if (w.termSent && w.killAtMs > 0 &&
+                   nowMs >= w.killAtMs) {
+            w.killAtMs = 0;
+            ::kill(-w.pid, SIGKILL);
+        }
+
+        int status = 0;
+        pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+        if (got == 0) {
+            ++i;
+            continue;
+        }
+        WorkerExit ex;
+        ex.timedOut = w.timedOut;
+        if (got < 0) {
+            // Should not happen (we own the child); classify as a
+            // signal death so the engine retries.
+            ex.kind = WorkerExit::Kind::signaled;
+            ex.status = 0;
+        } else if (WIFEXITED(status)) {
+            ex.kind = WEXITSTATUS(status) == 0
+                          ? WorkerExit::Kind::clean
+                          : WorkerExit::Kind::error;
+            ex.status = WEXITSTATUS(status);
+        } else {
+            ex.kind = WorkerExit::Kind::signaled;
+            ex.status = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        }
+        finished.emplace_back(w.token, ex);
+        workers_[i] = workers_.back();
+        workers_.pop_back();
+    }
+    return finished;
+}
+
+void
+Supervisor::killAll()
+{
+    for (const Worker &w : workers_) {
+        ::kill(-w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+    }
+    workers_.clear();
+}
+
+} // namespace nifdy

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Worker-process supervision for the campaign engine.
+ *
+ * The supervisor owns the fork/exec lifecycle of simulator worker
+ * subprocesses: it launches them with stdout/stderr captured to a
+ * per-attempt log file, polls for exits without blocking, enforces a
+ * per-attempt wall-clock timeout with SIGTERM -> SIGKILL escalation
+ * (a worker that ignores SIGTERM is killed unconditionally one grace
+ * period later), and classifies every termination as clean-exit,
+ * error-exit, signal death, or timeout. Policy -- retries, backoff,
+ * journaling -- lives in the engine; the supervisor only knows
+ * processes.
+ *
+ * Wall-clock time enters through the caller (the engine's annotated
+ * monotonic clock): the supervisor itself never reads a clock, which
+ * keeps it deterministic under test.
+ */
+
+#ifndef NIFDY_CAMPAIGN_SUPERVISOR_HH
+#define NIFDY_CAMPAIGN_SUPERVISOR_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace nifdy
+{
+
+/** How one worker attempt ended. */
+struct WorkerExit
+{
+    enum class Kind
+    {
+        clean,   //!< exit(0)
+        error,   //!< nonzero exit status
+        signaled //!< killed by a signal (incl. our timeout kill)
+    };
+    Kind kind = Kind::clean;
+    int status = 0;     //!< exit code or signal number
+    bool timedOut = false; //!< we initiated the kill (deadline hit)
+};
+
+class Supervisor
+{
+  public:
+    /** @p termGraceMs: SIGTERM -> SIGKILL escalation delay. */
+    explicit Supervisor(double termGraceMs);
+    ~Supervisor();
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Fork/exec @p argv with stdout+stderr appended to @p logPath
+     * and NIFDY_CAMPAIGN_ATTEMPT=@p attempt in the environment.
+     * @p deadlineMs (on the caller's clock) is when SIGTERM fires;
+     * @p token is returned back from poll(). Returns false if the
+     * fork itself failed (treated by the engine as a worker crash).
+     */
+    bool launch(const std::vector<std::string> &argv,
+                const std::string &logPath, int attempt,
+                double deadlineMs, int token);
+
+    /**
+     * Reap exited workers and escalate expired deadlines, given the
+     * caller's current wall-clock @p nowMs. Non-blocking. Returns
+     * (token, exit) pairs for every worker that terminated.
+     */
+    std::vector<std::pair<int, WorkerExit>> poll(double nowMs);
+
+    int liveWorkers() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** SIGKILL every live worker and reap it (engine teardown). */
+    void killAll();
+
+  private:
+    struct Worker
+    {
+        pid_t pid;
+        int token;
+        double deadlineMs;
+        bool termSent = false;
+        double killAtMs = 0;
+        bool timedOut = false;
+    };
+
+    double termGraceMs_;
+    std::vector<Worker> workers_;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_CAMPAIGN_SUPERVISOR_HH

@@ -1,6 +1,9 @@
 #include "sim/report.hh"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 
 #include "sim/config.hh"
 #include "sim/json.hh"
@@ -9,6 +12,39 @@
 
 namespace nifdy
 {
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    // The pid suffix keeps concurrent writers (e.g. an orphaned
+    // campaign worker racing a retried one) off each other's
+    // temporaries; rename() then publishes whole files only.
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    panic_if(fd < 0, "cannot open temporary file %s", tmp.c_str());
+    std::size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            ::close(fd);
+            std::remove(tmp.c_str());
+            panic("short write on temporary file %s", tmp.c_str());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        panic("fsync failed on temporary file %s", tmp.c_str());
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        panic("cannot rename %s into place", tmp.c_str());
+    }
+}
 
 RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
 
@@ -138,11 +174,7 @@ RunReport::json() const
 void
 RunReport::writeJson(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    panic_if(!out, "cannot open report file %s", path.c_str());
-    out << json() << "\n";
-    panic_if(!out.good(), "short write on report file %s",
-             path.c_str());
+    writeFileAtomic(path, json() + "\n");
 }
 
 } // namespace nifdy

@@ -30,6 +30,17 @@ class TimeSeries;
 
 inline constexpr const char *reportSchema = "nifdy-report-1";
 
+/**
+ * Write @p content to @p path atomically: write + fsync a
+ * pid-unique temporary in the same directory, then rename() over the
+ * destination. A reader (or a crash) never observes a truncated
+ * file -- it sees either the old bytes or the new bytes, which is
+ * what lets the campaign engine treat any unparsable worker report
+ * as a worker fault rather than a torn write.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
 class RunReport
 {
   public:

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Deterministically misbehaving campaign worker.
+
+A stand-in for examples/run_experiment that the campaign tests and
+the CI `campaign` job point the engine at. It speaks the same CLI
+(key=value arguments plus `--json PATH`) and decides how to behave
+from a hash of (chaos.seed, the sorted job config, the attempt
+number the supervisor passes in NIFDY_CAMPAIGN_ATTEMPT):
+
+  crash     exit nonzero without writing a report
+  hang      sleep far past any sane wall timeout (bounded, so
+            orphans self-clean even if the supervisor dies)
+  truncate  write a PREFIX of the valid report -- a complete but
+            unparsable file -- and exit 0, modeling a worker whose
+            own report write is not atomic
+  ok        write the valid report atomically and exit 0
+
+Every decision is a pure function of its inputs, and the *content*
+of the valid report depends only on the job config (never on the
+attempt), so a campaign that retries through any amount of injected
+chaos must aggregate to bytes identical to a chaos-free run. That is
+exactly the property tests/test_campaign.cc and CI assert.
+
+Knobs (all optional; probabilities are per-attempt):
+  chaos.seed=N          decision seed (default 0)
+  chaos.crashProb=P     probability of crashing (default 0)
+  chaos.hangProb=P      probability of hanging (default 0)
+  chaos.truncProb=P     probability of a truncated report (default 0)
+  chaos.alwaysFail=true fail every attempt (retry-cap tests)
+  chaos.ignoreTerm=true ignore SIGTERM while hanging, forcing the
+                        supervisor's SIGKILL escalation
+"""
+
+import hashlib
+import json
+import os
+import signal
+import sys
+import time
+
+HANG_BOUND_SECONDS = 60.0
+
+
+def parse_args(argv):
+    knobs = {}
+    json_path = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--json":
+            if i + 1 >= len(argv):
+                sys.exit("chaos_worker: --json needs a path")
+            json_path = argv[i + 1]
+            i += 2
+            continue
+        if "=" not in arg:
+            sys.exit(f"chaos_worker: expected key=value, got {arg!r}")
+        key, value = arg.split("=", 1)
+        knobs[key] = value
+        i += 1
+    return knobs, json_path
+
+
+def canonical(knobs):
+    return "".join(f"{k}={v}\n" for k, v in sorted(knobs.items()))
+
+
+def unit_fraction(*parts):
+    """Deterministic hash of the parts -> float in [0, 1)."""
+    digest = hashlib.sha256("|".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def build_report(knobs):
+    """The valid report: content depends only on the job config."""
+    base = unit_fraction("metrics", canonical(knobs))
+    metrics = {
+        "run.packets.delivered": 1000 + int(base * 9000),
+        "run.goodput": round(0.5 + base * 0.45, 6),
+        "nic.latency.p50": 20 + int(base * 30),
+        "nic.latency.p99": 80 + int(base * 300),
+    }
+    report = {
+        "schema": "nifdy-report-1",
+        "tool": "chaos_worker",
+        "config": dict(sorted(knobs.items())),
+        "metrics": metrics,
+        "tables": [],
+        "series": [],
+        "notes": [],
+    }
+    return json.dumps(report, sort_keys=False) + "\n"
+
+
+def main():
+    knobs, json_path = parse_args(sys.argv[1:])
+    attempt = os.environ.get("NIFDY_CAMPAIGN_ATTEMPT", "0")
+    seed = knobs.get("chaos.seed", "0")
+    draw = unit_fraction("behavior", seed, attempt, canonical(knobs))
+
+    crash_p = float(knobs.get("chaos.crashProb", "0"))
+    hang_p = float(knobs.get("chaos.hangProb", "0"))
+    trunc_p = float(knobs.get("chaos.truncProb", "0"))
+
+    if knobs.get("chaos.alwaysFail", "false") == "true":
+        sys.exit(3)
+    if draw < crash_p:
+        sys.exit(3)
+    if draw < crash_p + hang_p:
+        if knobs.get("chaos.ignoreTerm", "false") == "true":
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        # Bounded: an orphaned hanger exits on its own eventually.
+        time.sleep(HANG_BOUND_SECONDS)
+        sys.exit(3)
+
+    content = build_report(knobs)
+    if json_path is None:
+        sys.stdout.write(content)
+        return
+    if draw < crash_p + hang_p + trunc_p:
+        # A worker whose report write is not atomic: leave a prefix
+        # of valid JSON at the destination and claim success.
+        with open(json_path, "w") as f:
+            f.write(content[: max(1, len(content) // 2)])
+        return
+    tmp = f"{json_path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        f.write(content)
+        f.flush()
+        os.fsync(f.fileno())
+    os.rename(tmp, json_path)
+
+
+if __name__ == "__main__":
+    main()

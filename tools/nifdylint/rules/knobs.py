@@ -7,12 +7,18 @@ discoverable.
                      must be listed in the CLI help text in
                      src/harness/experiment.cc, so no fault-injection
                      or telemetry knob is ever undiscoverable from
-                     the command line.
-  knob-in-design  -- every CLI knob in the knobDocs table of
-                     src/harness/experiment.cc (the --list-knobs
-                     source of truth) must be mentioned in DESIGN.md
-                     (backticked), so the design document never lags
-                     the command line.
+                     the command line. campaign.* keys are held to
+                     the same standard against the campaignKnobDocs
+                     table in src/campaign/engine.cc -- table
+                     membership, not whole-file text, because the
+                     campaign knob readers live in the same file as
+                     their help table.
+  knob-in-design  -- every CLI knob in a KnobDoc table (the
+                     --list-knobs / --help sources of truth in
+                     src/harness/experiment.cc and
+                     src/campaign/engine.cc) must be mentioned in
+                     DESIGN.md (backticked), so the design document
+                     never lags the command line.
 """
 
 import re
@@ -21,14 +27,37 @@ from ..common import Violation
 
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|node|trace|metrics|anatomy)\.[A-Za-z0-9_.]+)"')
+    r'((?:fault|lossy|node|trace|metrics|anatomy|campaign)'
+    r'\.[A-Za-z0-9_.]+)"')
 # One knobDocs[] entry: {"name", "default", "doc..."}. The name is
 # the first string of the brace initializer.
 KNOB_TABLE_RE = re.compile(r'\{"([A-Za-z][A-Za-z0-9.]*)",')
+# A whole KnobDoc table (knobDocs, campaignKnobDocs, ...).
+TABLE_RE = re.compile(r"const KnobDoc \w+\[\] = \{(.*?)\n\};",
+                      re.DOTALL)
 
 
 def _cli_help_file(ctx):
     return ctx.root / "src" / "harness" / "experiment.cc"
+
+
+def _campaign_help_file(ctx):
+    return ctx.root / "src" / "campaign" / "engine.cc"
+
+
+def _table_knobs(path):
+    """The knob names of every KnobDoc table in @p path, with the
+    line number of the first table (for violation anchoring)."""
+    if not path.is_file():
+        return set(), 1
+    text = path.read_text()
+    knobs = set()
+    first_at = 1
+    for i, m in enumerate(TABLE_RE.finditer(text)):
+        if i == 0:
+            first_at = 1 + text[:m.start()].count("\n")
+        knobs.update(KNOB_TABLE_RE.findall(m.group(1)))
+    return knobs, first_at
 
 
 def check_documented(ctx):
@@ -37,6 +66,7 @@ def check_documented(ctx):
     violations = []
     cli_help = _cli_help_file(ctx)
     help_text = cli_help.read_text() if cli_help.is_file() else ""
+    campaign_knobs, _ = _table_knobs(_campaign_help_file(ctx))
     src = ctx.root / "src"
     for path, sf in ctx.src_files.items():
         if not path.is_relative_to(src):
@@ -44,7 +74,14 @@ def check_documented(ctx):
         for lineno, line in enumerate(sf.raw.splitlines(), start=1):
             for m in KNOB_RE.finditer(line):
                 knob = m.group(1)
-                if knob not in help_text:
+                if knob.startswith("campaign."):
+                    if knob not in campaign_knobs:
+                        violations.append(Violation(
+                            path, lineno, "knob-documented",
+                            f"config key {knob} is missing from the "
+                            "campaignKnobDocs table in "
+                            "src/campaign/engine.cc"))
+                elif knob not in help_text:
                     violations.append(Violation(
                         path, lineno, "knob-documented",
                         f"config key {knob} is missing from the CLI "
@@ -53,27 +90,27 @@ def check_documented(ctx):
 
 
 def check_in_design(ctx):
-    """Every knob in the knobDocs table (--list-knobs) must appear
-    backticked somewhere in DESIGN.md."""
-    cli_help = _cli_help_file(ctx)
-    if not cli_help.is_file():
-        return []
-    text = cli_help.read_text()
-    m = re.search(r"const KnobDoc knobDocs\[\] = \{(.*?)\n\};", text,
-                  re.DOTALL)
-    if not m:
-        return [Violation(
-            cli_help, 1, "knob-in-design",
-            "knobDocs table not found (--list-knobs source)")]
-    design = (ctx.root / "DESIGN.md").read_text()
-    table_at = 1 + text[:m.start()].count("\n")
+    """Every knob in a KnobDoc table (--list-knobs / --help) must
+    appear backticked somewhere in DESIGN.md."""
+    design_path = ctx.root / "DESIGN.md"
+    design = design_path.read_text() if design_path.is_file() else ""
     violations = []
-    for knob in KNOB_TABLE_RE.findall(m.group(1)):
-        if f"`{knob}`" not in design:
+    for help_file in (_cli_help_file(ctx), _campaign_help_file(ctx)):
+        if not help_file.is_file():
+            continue
+        knobs, table_at = _table_knobs(help_file)
+        if not knobs:
             violations.append(Violation(
-                cli_help, table_at, "knob-in-design",
-                f"CLI knob {knob} is not documented (backticked) "
-                "in DESIGN.md"))
+                help_file, 1, "knob-in-design",
+                "KnobDoc table not found (--list-knobs/--help "
+                "source)"))
+            continue
+        for knob in sorted(knobs):
+            if f"`{knob}`" not in design:
+                violations.append(Violation(
+                    help_file, table_at, "knob-in-design",
+                    f"CLI knob {knob} is not documented (backticked) "
+                    "in DESIGN.md"))
     return violations
 
 

@@ -148,6 +148,34 @@ def test_knob_documented_negative():
     assert not vs
 
 
+CAMPAIGN_KNOB_TABLE = (
+    "const KnobDoc campaignKnobDocs[] = {\n"
+    '    {"campaign.workers", "4", "parallel workers"},\n'
+    "};\n")
+
+
+def test_knob_documented_campaign_positive():
+    # campaign.* is checked against the campaignKnobDocs *table*, so
+    # the knob name appearing elsewhere in engine.cc (e.g. in its own
+    # getInt call) does not count as documentation.
+    vs = run_rule("knob-documented", {
+        "src/campaign/engine.cc":
+            CAMPAIGN_KNOB_TABLE +
+            'long n = conf.getInt("campaign.retryMax", 3);\n',
+    })
+    assert rules_hit(vs) == {"knob-documented"}
+    assert any("campaign.retryMax" in v.message for v in vs)
+
+
+def test_knob_documented_campaign_negative():
+    vs = run_rule("knob-documented", {
+        "src/campaign/engine.cc":
+            CAMPAIGN_KNOB_TABLE +
+            'long n = conf.getInt("campaign.workers", 4);\n',
+    })
+    assert not vs
+
+
 # --- knob-in-design -----------------------------------------------------
 
 KNOB_TABLE = (
@@ -168,6 +196,25 @@ def test_knob_in_design_negative():
     vs = run_rule("knob-in-design", {
         "src/harness/experiment.cc": KNOB_TABLE,
         "DESIGN.md": "`fault.dropProb` drops packets per hop.\n",
+    })
+    assert not vs
+
+
+def test_knob_in_design_campaign_positive():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": KNOB_TABLE,
+        "src/campaign/engine.cc": CAMPAIGN_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` only; campaign undocumented\n",
+    })
+    assert rules_hit(vs) == {"knob-in-design"}
+    assert any("campaign.workers" in v.message for v in vs)
+
+
+def test_knob_in_design_campaign_negative():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": KNOB_TABLE,
+        "src/campaign/engine.cc": CAMPAIGN_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` and `campaign.workers`.\n",
     })
     assert not vs
 
