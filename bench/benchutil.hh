@@ -152,6 +152,12 @@ applyTelemetry(ExperimentConfig &cfg, const Config &conf)
     cfg.anatomy.seed = static_cast<std::uint64_t>(conf.getInt(
         "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
     cfg.anatomy.validate();
+    cfg.profile.enabled =
+        conf.getBool("profile.enabled", cfg.profile.enabled);
+    cfg.profile.interval = static_cast<Cycle>(conf.getInt(
+        "profile.interval",
+        static_cast<long>(cfg.profile.interval)));
+    cfg.profile.validate();
 }
 
 /**
@@ -179,6 +185,45 @@ recordAnatomy(Experiment &exp, BenchArgs &args,
             prefix + "cycles." + stallCauseSlugs[c],
             an->totalCycles(static_cast<StallCause>(c)));
     args.emit(an->blameTable("latency blame: " + tag));
+}
+
+/**
+ * Record an experiment's host-cost profile (when enabled) into a
+ * bench report: the deterministic step/idle counters under
+ * "profile.<tag>." metric names, the host-time figures under
+ * "host.<tag>." names in the nondeterministic profile section.
+ * tools/analyze_profile.py consumes both.
+ */
+inline void
+recordProfile(Experiment &exp, BenchArgs &args,
+              const std::string &tag)
+{
+    const Profiler *p = exp.profiler();
+    if (!p)
+        return;
+    const std::string mp = "profile." + tag + ".";
+    args.report.addMetric(mp + "cycles", p->cycles());
+    args.report.addMetric(mp + "cycles.timed", p->timedCycles());
+    const auto &classes = p->classes();
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        args.report.addMetric(mp + "steps." + classes[c],
+                              p->classSteps(c));
+        args.report.addMetric(mp + "idlesteps." + classes[c],
+                              p->classIdleSteps(c));
+    }
+    const std::string hp = "host." + tag + ".";
+    args.report.addProfile(hp + "loop.ns", p->loopNs());
+    if (p->timedCycles() > 0)
+        args.report.addProfile(hp + "loop.nspercycle",
+                               double(p->loopNs()) /
+                                   double(p->timedCycles()));
+    for (std::size_t c = 0; c < classes.size(); ++c)
+        args.report.addProfile(hp + "class." + classes[c] + ".ns",
+                               p->classNs(c));
+    for (int ph = 0; ph < numProfPhases; ++ph)
+        args.report.addProfile(
+            hp + "phase." + profPhaseSlugs[ph] + ".ns",
+            p->phaseNs(static_cast<ProfPhase>(ph)));
 }
 
 /** Assemble an experiment with synthetic traffic on every node. */

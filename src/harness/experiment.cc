@@ -257,6 +257,12 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         metrics_->startSnapshots(cfg_.metrics);
         kernel_.setMetrics(metrics_.get());
     }
+
+    cfg_.profile.validate();
+    if (cfg_.profile.enabled) {
+        profiler_ = std::make_unique<Profiler>(cfg_.profile);
+        kernel_.setProfiler(profiler_.get());
+    }
 }
 
 Experiment::~Experiment()
@@ -882,6 +888,35 @@ Experiment::fillReport(RunReport &rep) const
         rep.addTable(anatomy_->nodeTable("latency blame by node"));
     }
 
+    if (profiler_) {
+        const Profiler &p = *profiler_;
+        // Deterministic step/idle counters: pure functions of the
+        // simulation, so they live in the normal metrics section.
+        rep.addMetric("profile.cycles", p.cycles());
+        rep.addMetric("profile.cycles.timed", p.timedCycles());
+        const auto &classes = p.classes();
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            rep.addMetric("profile.steps." + classes[c],
+                          p.classSteps(c));
+            rep.addMetric("profile.idlesteps." + classes[c],
+                          p.classIdleSteps(c));
+        }
+        // Host-time figures: nondeterministic, quarantined in the
+        // report's "profile" section (excluded from byte-identity).
+        rep.addProfile("host.loop.ns", p.loopNs());
+        if (p.timedCycles() > 0)
+            rep.addProfile("host.loop.nspercycle",
+                           double(p.loopNs()) /
+                               double(p.timedCycles()));
+        for (std::size_t c = 0; c < classes.size(); ++c)
+            rep.addProfile("host.class." + classes[c] + ".ns",
+                           p.classNs(c));
+        for (int ph = 0; ph < numProfPhases; ++ph)
+            rep.addProfile(std::string("host.phase.") +
+                               profPhaseSlugs[ph] + ".ns",
+                           p.phaseNs(static_cast<ProfPhase>(ph)));
+    }
+
     rep.addTable(statsTable());
 }
 
@@ -983,6 +1018,13 @@ experimentFromConfig(const Config &conf)
     cfg.anatomy.seed = static_cast<std::uint64_t>(conf.getInt(
         "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
     cfg.anatomy.validate();
+
+    cfg.profile.enabled =
+        conf.getBool("profile.enabled", cfg.profile.enabled);
+    cfg.profile.interval = static_cast<Cycle>(conf.getInt(
+        "profile.interval",
+        static_cast<long>(cfg.profile.interval)));
+    cfg.profile.validate();
     return cfg;
 }
 
@@ -1076,6 +1118,11 @@ const KnobDoc knobDocs[] = {
      "fraction of packet lifecycles attributed, [0, 1]"},
     {"anatomy.seed", "0",
      "anatomy sampling hash seed (0 = experiment seed)"},
+    {"profile.enabled", "false",
+     "host-cost profiler: per-component host-time and idle-work "
+     "attribution"},
+    {"profile.interval", "32",
+     "cycles between profiler host-clock samples"},
 };
 
 } // namespace
@@ -1173,7 +1220,12 @@ experimentCliHelp()
           "  anatomy.sampleRate=P   fraction of lifecycles "
           "attributed [0, 1]\n"
           "  anatomy.seed=N         anatomy sampling hash seed (0 = "
-          "experiment seed)\n";
+          "experiment seed)\n"
+          "  profile.enabled=BOOL   host-cost profiler: "
+          "per-component host-time\n"
+          "                         and idle-work attribution\n"
+          "  profile.interval=N     cycles between profiler "
+          "host-clock samples\n";
     return os.str();
 }
 

@@ -23,6 +23,7 @@
 #include "sim/anatomy.hh"
 #include "sim/fault.hh"
 #include "sim/metrics.hh"
+#include "sim/profile.hh"
 #include "sim/table.hh"
 #include "sim/trace.hh"
 
@@ -85,6 +86,10 @@ struct ExperimentConfig
     /** Latency anatomy: per-packet stall-cause attribution
      * (anatomy.* knobs; off by default and then cost-free). */
     AnatomyConfig anatomy;
+    /** Host-cost profiler: per-component host-time and idle-work
+     * attribution (profile.* knobs; off by default and then one
+     * pointer test per cycle). */
+    ProfileConfig profile;
     Cycle barrierLatency = 100;
     Cycle watchdog = 2000000;
     std::uint64_t seed = 1;
@@ -142,6 +147,10 @@ class Experiment
 
     /** The latency-anatomy sink (nullptr when disabled). */
     Anatomy *anatomy() { return anatomy_.get(); }
+
+    /** The host-cost profiler (nullptr when disabled). */
+    Profiler *profiler() { return profiler_.get(); }
+    const Profiler *profiler() const { return profiler_.get(); }
 
     //! @name Dead-peer reporting (graceful degradation)
     //! @{
@@ -233,6 +242,10 @@ class Experiment
     bool anyCrashed_ = false;
     std::uint64_t nodeCrashes_ = 0;
     std::uint64_t nodeRestarts_ = 0;
+    /** Host-cost profiler; declared before the telemetry sinks so
+     * it outlives them -- the tracer's close() charges its file
+     * write to the profiler's trace-emit phase. */
+    std::unique_ptr<Profiler> profiler_;
     /** Telemetry sinks; flushed by the destructor before audit_
      * (below) detaches. The anatomy sink precedes the tracer: its
      * final transitions render into the trace buffer. */

@@ -61,6 +61,8 @@ class Router : public Steppable
     Router(int id, const RouterParams &params);
     ~Router() override = default;
 
+    const char *profileClass() const override { return "router"; }
+
     /** Attach an incoming channel; returns the input port index. */
     int addInPort(Channel *ch);
 

@@ -81,6 +81,8 @@ class NifdyNic : public Nic
     void step(Cycle now) override;
     bool transitIdle() const override;
 
+    const char *profileClass() const override { return "nifdy-nic"; }
+
     const NifdyConfig &config() const { return cfg_; }
 
     /**

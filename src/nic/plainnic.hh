@@ -35,6 +35,8 @@ class BufferedNic : public Nic
     void send(Packet *pkt, Cycle now) override;
     bool transitIdle() const override;
 
+    const char *profileClass() const override { return "plain-nic"; }
+
     int outQueueCapacity() const { return outQueue_; }
 
   protected:

@@ -32,6 +32,8 @@ class Processor : public Steppable
 
     void step(Cycle now) override;
 
+    const char *profileClass() const override { return "proc"; }
+
     /** Attach the workload driving this processor (non-owning). */
     void setWorkload(Workload *w) { workload_ = w; }
 

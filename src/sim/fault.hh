@@ -204,6 +204,11 @@ class NodeFaultDriver : public Steppable
 
     void step(Cycle now) override;
 
+    const char *profileClass() const override
+    {
+        return "fault-driver";
+    }
+
     /** The resolved schedule (sorted by crash cycle). */
     const std::vector<NodeFault> &schedule() const { return schedule_; }
 

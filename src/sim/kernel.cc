@@ -5,6 +5,7 @@
 #include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
+#include "sim/profile.hh"
 
 namespace nifdy
 {
@@ -20,7 +21,11 @@ Kernel::add(Steppable *obj, std::string name)
 NIFDY_HOT void
 Kernel::step()
 {
-    activeThisCycle_ = false;
+    if (profiler_) [[unlikely]] {
+        stepProfiled();
+        return;
+    }
+    const std::uint64_t before = activityEvents_;
     for (Steppable *obj : objects_)
         obj->step(now_);
     if (audit_)
@@ -28,7 +33,54 @@ Kernel::step()
     if (metrics_)
         metrics_->endCycle(now_);
     ++now_;
-    if (activeThisCycle_)
+    if (activityEvents_ != before)
+        idleCycles_ = 0;
+    else
+        ++idleCycles_;
+}
+
+NIFDY_HOT void
+Kernel::stepProfiled()
+{
+    Profiler &p = *profiler_;
+    p.sync(objects_);
+    const std::uint64_t before = activityEvents_;
+    std::uint64_t prev = before;
+    if (p.timedCycle(now_)) {
+        // Chained clock: every read both closes one account's
+        // segment and opens the next, so the per-component and
+        // per-phase deltas telescope to the loop total exactly.
+        p.beginTimed();
+        for (std::size_t i = 0; i < objects_.size(); ++i) {
+            objects_[i]->step(now_);
+            const std::uint64_t after = activityEvents_;
+            p.componentTimed(i, after != prev);
+            prev = after;
+        }
+        if (audit_) {
+            audit_->endCycle(now_);
+            p.phaseTimed(ProfPhase::audit);
+        }
+        if (metrics_) {
+            metrics_->endCycle(now_);
+            p.phaseTimed(ProfPhase::metrics);
+        }
+        p.endTimed();
+    } else {
+        for (std::size_t i = 0; i < objects_.size(); ++i) {
+            objects_[i]->step(now_);
+            const std::uint64_t after = activityEvents_;
+            p.componentStep(i, after != prev);
+            prev = after;
+        }
+        if (audit_)
+            audit_->endCycle(now_);
+        if (metrics_)
+            metrics_->endCycle(now_);
+    }
+    p.countCycle();
+    ++now_;
+    if (activityEvents_ != before)
         idleCycles_ = 0;
     else
         ++idleCycles_;

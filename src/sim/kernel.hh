@@ -25,6 +25,7 @@ namespace nifdy
 
 class Audit;
 class Metrics;
+class Profiler;
 
 /** Anything advanced once per cycle by the Kernel. */
 class Steppable
@@ -34,6 +35,14 @@ class Steppable
 
     /** Advance one cycle. @param now the cycle being executed. */
     virtual void step(Cycle now) = 0;
+
+    /**
+     * Component-class label for the host-cost profiler's roll-up
+     * (sim/profile.hh): "router", "nifdy-nic", "plain-nic", "proc",
+     * "fault-driver". Must be a string constant, stable for the
+     * component's lifetime.
+     */
+    virtual const char *profileClass() const { return "other"; }
 };
 
 /**
@@ -70,10 +79,12 @@ class Kernel
 
     /**
      * Components call this whenever they make observable progress
-     * (move a flit, deliver a packet, consume a busy cycle). Used
-     * only by the deadlock watchdog.
+     * (move a flit, deliver a packet, consume a busy cycle). Feeds
+     * the deadlock watchdog, and -- via before/after comparisons of
+     * the event counter around each step() call -- the profiler's
+     * per-component idle-work account.
      */
-    void noteActivity() { activeThisCycle_ = true; }
+    void noteActivity() { ++activityEvents_; }
 
     /** Cycles of global inactivity tolerated before panicking. */
     void setWatchdogLimit(Cycle limit) { watchdogLimit_ = limit; }
@@ -95,19 +106,33 @@ class Kernel
     void setMetrics(Metrics *metrics) { metrics_ = metrics; }
     Metrics *metrics() const { return metrics_; }
 
+    /**
+     * Attach a host-cost profiler (non-owning, may be nullptr).
+     * While attached, step() takes the profiled path; detached, the
+     * hot loop pays exactly one pointer test (the always-compiled
+     * idle path, so profile-off runs are byte-identical).
+     */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+    Profiler *profiler() const { return profiler_; }
+
   private:
     /** Build and raise the deadlock-watchdog panic message (cold:
      * keeps string formatting out of the hot run loop). */
     [[noreturn]] void watchdogPanic() const;
 
+    /** step() with the attached profiler's accounts active. */
+    void stepProfiled();
+
     Cycle now_ = 0;
-    bool activeThisCycle_ = false;
+    /** Monotone count of noteActivity() calls. */
+    std::uint64_t activityEvents_ = 0;
     Cycle idleCycles_ = 0;
     Cycle watchdogLimit_ = 200000;
     std::vector<Steppable *> objects_;
     std::vector<std::string> names_;
     Audit *audit_ = nullptr;
     Metrics *metrics_ = nullptr;
+    Profiler *profiler_ = nullptr;
 };
 
 } // namespace nifdy

@@ -1,0 +1,140 @@
+#include "sim/profile.hh"
+
+#include <chrono>
+
+#include "sim/kernel.hh"
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+namespace
+{
+
+/** Innermost-first stack of active profilers (tests nest scopes). */
+std::vector<Profiler *> &
+stack()
+{
+    // nifdy:static-ok(ScopedPhase needs the active profiler without threading it through every hook; push/pop keeps runs repeatable in-process)
+    static std::vector<Profiler *> s;
+    return s;
+}
+
+} // namespace
+
+void
+ProfileConfig::validate() const
+{
+    panic_if(interval == 0, "profile.interval must be >= 1");
+}
+
+Profiler::Profiler(const ProfileConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    stack().push_back(this);
+}
+
+Profiler::~Profiler()
+{
+    auto &s = stack();
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+        if (*it == this) {
+            s.erase(std::next(it).base());
+            break;
+        }
+    }
+}
+
+Profiler *
+Profiler::current()
+{
+    auto &s = stack();
+    return s.empty() ? nullptr : s.back();
+}
+
+NIFDY_HOT std::uint64_t
+Profiler::hostNowNs()
+{
+    // The profiler's whole purpose is measuring host time; results
+    // are quarantined in the nondeterministic report section.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // nifdy:wallclock-ok(host-cost profiler measures wall time by design)
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+Profiler::attach(const std::vector<Steppable *> &objects)
+{
+    // Cold by construction: runs only when the kernel's component
+    // registry changed size, i.e. before steady state. Existing
+    // accounts are preserved (components are only ever appended).
+    comps_.resize(objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        const char *cls = objects[i]->profileClass();
+        std::size_t c = 0;
+        for (; c < classes_.size(); ++c)
+            if (classes_[c] == cls)
+                break;
+        if (c == classes_.size())
+            classes_.emplace_back(cls);
+        comps_[i].cls = c;
+    }
+}
+
+NIFDY_HOT void
+Profiler::beginTimed()
+{
+    chainBegin_ = chainLast_ = hostNowNs();
+}
+
+NIFDY_HOT void
+Profiler::phaseTimed(ProfPhase ph)
+{
+    std::uint64_t t = hostNowNs();
+    phaseNs_[static_cast<int>(ph)] += t - chainLast_;
+    chainLast_ = t;
+}
+
+NIFDY_HOT void
+Profiler::endTimed()
+{
+    std::uint64_t t = hostNowNs();
+    phaseNs_[static_cast<int>(ProfPhase::self)] += t - chainLast_;
+    loopNs_ += t - chainBegin_;
+    chainLast_ = t;
+    ++timedCycles_;
+}
+
+std::uint64_t
+Profiler::classNs(std::size_t c) const
+{
+    std::uint64_t n = 0;
+    for (const Comp &comp : comps_)
+        if (comp.cls == c)
+            n += comp.ns;
+    return n;
+}
+
+std::uint64_t
+Profiler::classSteps(std::size_t c) const
+{
+    std::uint64_t n = 0;
+    for (const Comp &comp : comps_)
+        if (comp.cls == c)
+            n += comp.steps;
+    return n;
+}
+
+std::uint64_t
+Profiler::classIdleSteps(std::size_t c) const
+{
+    std::uint64_t n = 0;
+    for (const Comp &comp : comps_)
+        if (comp.cls == c)
+            n += comp.idleSteps;
+    return n;
+}
+
+} // namespace nifdy

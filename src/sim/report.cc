@@ -86,6 +86,18 @@ RunReport::addMetric(const std::string &name, std::int64_t v)
 }
 
 void
+RunReport::addProfile(const std::string &name, double v)
+{
+    profile_[name] = JsonWriter::numStr(v);
+}
+
+void
+RunReport::addProfile(const std::string &name, std::uint64_t v)
+{
+    profile_[name] = JsonWriter::numStr(v);
+}
+
+void
 RunReport::addSeries(const TimeSeries &ts)
 {
     seriesJson_.push_back(ts.json());
@@ -111,7 +123,7 @@ RunReport::print(bool csv) const
 }
 
 std::string
-RunReport::json() const
+RunReport::json(bool includeProfile) const
 {
     JsonWriter w;
     w.beginObject();
@@ -131,6 +143,21 @@ RunReport::json() const
         w.raw(kv.second);
     }
     w.endObject();
+
+    // Quarantined host-time section: present only when a profiler
+    // (or bench wall timer) recorded figures, and skippable for
+    // byte-identity comparisons. An absent section when empty keeps
+    // profile-off reports identical to pre-profiler ones.
+    if (includeProfile && !profile_.empty()) {
+        w.key("profile");
+        w.beginObject();
+        w.field("nondeterministic", true);
+        for (const auto &kv : profile_) {
+            w.key(kv.first);
+            w.raw(kv.second);
+        }
+        w.endObject();
+    }
 
     w.key("tables");
     w.beginArray();

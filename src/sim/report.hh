@@ -63,6 +63,17 @@ class RunReport
     void addMetric(const std::string &name, std::uint64_t v);
     void addMetric(const std::string &name, std::int64_t v);
 
+    /**
+     * Host-time figures for the nondeterministic "profile" section
+     * (wall-clock nanoseconds, rates). The section is rendered with
+     * a leading "nondeterministic": true marker and is excluded by
+     * json(false), the byte-identity comparison form; everything
+     * deterministic belongs in addMetric instead. See DESIGN.md
+     * section 12.
+     */
+    void addProfile(const std::string &name, double v);
+    void addProfile(const std::string &name, std::uint64_t v);
+
     /** Attach a recorded time series (serialized in full). */
     void addSeries(const TimeSeries &ts);
 
@@ -76,8 +87,12 @@ class RunReport
      * stdout through the log funnel. */
     void print(bool csv = false) const;
 
-    /** The full JSON document. */
-    std::string json() const;
+    /**
+     * The JSON document. @p includeProfile false omits the
+     * nondeterministic "profile" section -- the form byte-identity
+     * comparisons (tests, CI determinism job) must use.
+     */
+    std::string json(bool includeProfile = true) const;
 
     /** Write json() to @p path. */
     void writeJson(const std::string &path) const;
@@ -91,6 +106,8 @@ class RunReport
     /** Metric values pre-rendered as JSON number strings (keeps one
      * map regardless of arithmetic type, deterministic order). */
     std::map<std::string, std::string> metrics_;
+    /** Nondeterministic host-time figures (the "profile" section). */
+    std::map<std::string, std::string> profile_;
     std::vector<Table> tables_;
     std::vector<std::string> seriesJson_;
     std::vector<std::string> notes_;

@@ -8,6 +8,7 @@
 #include "net/packet.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace nifdy
 {
@@ -183,6 +184,10 @@ Tracer::close()
     if (closed_)
         return;
     closed_ = true;
+    // Host cost of rendering + writing the trace file, charged to
+    // the profiler's trace-emit phase (outside the kernel loop, so
+    // additional to the loop conservation sum).
+    Profiler::ScopedPhase profScope(ProfPhase::traceEmit);
 
     // Per-id first/last indices: the first event of a chain becomes
     // the async "b", the last the async "e", everything between "n".

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Host-cost blame analyzer and perf gate for profiler reports.
+
+Consumes the nifdy-report-1 JSON written by `run_experiment --json`
+(profile.enabled=true), any bench's `--json` flag, or bench_kernel's
+BENCH_kernel.json. Three data families (DESIGN.md section 12):
+
+  metrics  profile[.<tag>].steps.<class> / .idlesteps.<class>
+           deterministic step/idle counters (the idle-work account)
+  profile  host[.<tag>].class.<class>.ns / .phase.<phase>.ns /
+           .loop.ns -- nondeterministic host-time figures, quarantined
+           in the report's "profile" section
+  profile  kernel.<tag>.wall.ns / .cycles.persec / .flits.persec --
+           bench_kernel throughput figures (deterministic window
+           counts under kernel.<tag>.* in metrics)
+
+Usage:
+  analyze_profile.py report.json              ranked host-cost blame
+                                              per class + phase, and
+                                              the idle-fraction
+                                              summary, per group
+  analyze_profile.py report.json --compare A B
+                                              host-cost share shift
+                                              between two groups
+  analyze_profile.py current.json --gate baseline.json
+                                              perf regression gate:
+                                              fail when a bench
+                                              config's throughput
+                                              falls below
+                                              --min-ratio x baseline
+                                              (generous default for
+                                              runner noise)
+  analyze_profile.py report.json --validate-bench
+                                              schema + required-key
+                                              check for bench_kernel
+                                              reports (CI)
+
+Exit status: 0 clean, 1 on validation/gate failure, missing data, or
+unknown group tags.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Mirrors profPhaseSlugs in src/sim/profile.hh.
+PHASES = ["audit", "metrics", "trace", "self"]
+
+LOOP_RE = re.compile(r"^host\.(?:(?P<tag>.+)\.)?loop\.ns$")
+CLASS_RE = re.compile(
+    r"^host\.(?:(?P<tag>.+)\.)?class\.(?P<cls>[a-z-]+)\.ns$")
+STEPS_RE = re.compile(
+    r"^profile\.(?:(?P<tag>.+)\.)?steps\.(?P<cls>[a-z-]+)$")
+BENCH_RE = re.compile(r"^kernel\.(?P<tag>[a-z0-9]+)\.cycles$")
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "nifdy-report-1":
+        sys.exit(f"{path}: not a nifdy-report-1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+class Group:
+    """One profiled run: host-ns blame + idle-work account."""
+
+    def __init__(self, tag, metrics, profile):
+        self.tag = tag or "(run)"
+        mid = f"{tag}." if tag else ""
+        self.loop_ns = int(profile[f"host.{mid}loop.ns"])
+        self.class_ns = {}
+        self.phase_ns = {}
+        for ph in PHASES:
+            key = f"host.{mid}phase.{ph}.ns"
+            if key in profile:
+                self.phase_ns[ph] = int(profile[key])
+        for key, v in profile.items():
+            m = CLASS_RE.match(key)
+            if m and (m.group("tag") or "") == (tag or ""):
+                self.class_ns[m.group("cls")] = int(v)
+        self.steps = {}
+        self.idle = {}
+        for key, v in metrics.items():
+            m = STEPS_RE.match(key)
+            if m and (m.group("tag") or "") == (tag or ""):
+                cls = m.group("cls")
+                self.steps[cls] = int(v)
+                idle_key = f"profile.{mid}idlesteps.{cls}"
+                self.idle[cls] = int(metrics.get(idle_key, 0))
+
+    def blame(self):
+        """(label, ns) rows: classes + in-loop phases, ranked."""
+        rows = [(f"class {c}", ns)
+                for c, ns in self.class_ns.items()]
+        rows += [(f"phase {p}", ns)
+                 for p, ns in self.phase_ns.items() if p != "trace"]
+        return sorted(rows, key=lambda r: -r[1])
+
+
+def find_groups(doc):
+    metrics = doc.get("metrics", {})
+    profile = doc.get("profile", {})
+    groups = {}
+    for key in profile:
+        m = LOOP_RE.match(key)
+        if m:
+            tag = m.group("tag") or ""
+            groups[tag] = Group(tag, metrics, profile)
+    return groups
+
+
+def print_group(g):
+    print(f"== host-cost blame: {g.tag} "
+          f"(loop total {g.loop_ns / 1e6:.2f} ms) ==")
+    for label, ns in g.blame():
+        share = ns / g.loop_ns if g.loop_ns else 0.0
+        print(f"  {label:<22} {ns / 1e6:>10.3f} ms  {share:>6.1%}")
+    trace_ns = g.phase_ns.get("trace", 0)
+    if trace_ns:
+        print(f"  {'phase trace (off-loop)':<22} "
+              f"{trace_ns / 1e6:>10.3f} ms")
+    if g.steps:
+        print("  idle-work account (idle steps / steps):")
+        for cls in sorted(g.steps):
+            steps, idle = g.steps[cls], g.idle[cls]
+            frac = idle / steps if steps else 0.0
+            print(f"    {cls:<20} {idle:>12} / {steps:<12} "
+                  f"{frac:>6.1%} idle")
+    print()
+
+
+def print_bench(doc):
+    metrics = doc.get("metrics", {})
+    profile = doc.get("profile", {})
+    tags = sorted(m.group("tag") for m in
+                  (BENCH_RE.match(k) for k in metrics) if m)
+    if not tags:
+        return
+    print("== kernel throughput (nondeterministic host rates) ==")
+    for tag in tags:
+        cps = float(profile.get(f"kernel.{tag}.cycles.persec", 0))
+        fps = float(profile.get(f"kernel.{tag}.flits.persec", 0))
+        print(f"  {tag:<16} {cps:>14,.0f} cycles/s "
+              f"{fps:>14,.0f} flit events/s")
+    ov = profile.get("kernel.profile.overheadfrac")
+    if ov is not None:
+        print(f"  profiler overhead on fig2heavy: {float(ov):.1%}")
+    print()
+
+
+def cmd_compare(groups, a, b):
+    for tag in (a, b):
+        if tag not in groups:
+            sys.exit(f"unknown group tag {tag!r}; have: "
+                     f"{', '.join(sorted(groups)) or '(none)'}")
+    ga, gb = groups[a], groups[b]
+    print(f"== host-cost share shift: {ga.tag} -> {gb.tag} ==")
+    labels = sorted(set(dict(ga.blame())) | set(dict(gb.blame())))
+    da, db = dict(ga.blame()), dict(gb.blame())
+    for label in labels:
+        sa = da.get(label, 0) / ga.loop_ns if ga.loop_ns else 0.0
+        sb = db.get(label, 0) / gb.loop_ns if gb.loop_ns else 0.0
+        print(f"  {label:<22} {sa:>7.1%} -> {sb:>7.1%} "
+              f"({sb - sa:+.1%})")
+    return 0
+
+
+def bench_rates(doc):
+    """tag -> (cycles/sec, flits/sec) from a bench_kernel report."""
+    metrics = doc.get("metrics", {})
+    profile = doc.get("profile", {})
+    rates = {}
+    for key in metrics:
+        m = BENCH_RE.match(key)
+        if not m:
+            continue
+        tag = m.group("tag")
+        rates[tag] = (
+            float(profile.get(f"kernel.{tag}.cycles.persec", 0)),
+            float(profile.get(f"kernel.{tag}.flits.persec", 0)))
+    return rates
+
+
+def cmd_gate(doc, baseline_path, min_ratio):
+    base = load_report(baseline_path)
+    cur_rates, base_rates = bench_rates(doc), bench_rates(base)
+    if not base_rates:
+        sys.exit(f"{baseline_path}: no kernel.<tag>.* bench data")
+    failed = False
+    for tag, (bcps, bfps) in sorted(base_rates.items()):
+        if tag not in cur_rates:
+            print(f"GATE FAIL {tag}: missing from current report")
+            failed = True
+            continue
+        ccps, cfps = cur_rates[tag]
+        # Gate flit events/sec where the config moves traffic;
+        # the idle fabric has none, so gate raw cycles/sec there.
+        base_rate, cur_rate, unit = (
+            (bfps, cfps, "flit events/s") if bfps > 0
+            else (bcps, ccps, "cycles/s"))
+        if base_rate <= 0:
+            continue
+        ratio = cur_rate / base_rate
+        verdict = "ok" if ratio >= min_ratio else "FAIL"
+        print(f"gate {tag:<12} {cur_rate:>14,.0f} {unit} "
+              f"(baseline {base_rate:,.0f}, ratio {ratio:.2f}, "
+              f"floor {min_ratio:.2f}) {verdict}")
+        if ratio < min_ratio:
+            failed = True
+    if failed:
+        print("perf gate FAILED: throughput regressed beyond the "
+              "noise floor")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def cmd_validate_bench(doc):
+    metrics = doc.get("metrics", {})
+    profile = doc.get("profile", {})
+    tags = [m.group("tag") for m in
+            (BENCH_RE.match(k) for k in metrics) if m]
+    errors = []
+    if not tags:
+        errors.append("no kernel.<tag>.cycles metrics")
+    if not profile.get("nondeterministic"):
+        errors.append('profile section missing its '
+                      '"nondeterministic": true marker')
+    for tag in tags:
+        for key in (f"kernel.{tag}.flits",):
+            if key not in metrics:
+                errors.append(f"missing metric {key}")
+        for key in (f"kernel.{tag}.wall.ns",
+                    f"kernel.{tag}.cycles.persec"):
+            if key not in profile:
+                errors.append(f"missing profile entry {key}")
+    for err in errors:
+        print(f"VALIDATE FAIL: {err}")
+    if not errors:
+        print(f"bench report valid: configs {', '.join(sorted(tags))}")
+    return 1 if errors else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="host-cost blame / idle-work / perf-gate "
+                    "analyzer for profiler reports")
+    ap.add_argument("report", help="nifdy-report-1 JSON file")
+    ap.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                    help="blame share shift between two groups")
+    ap.add_argument("--gate", metavar="BASELINE",
+                    help="fail on throughput regression vs this "
+                         "bench_kernel baseline report")
+    ap.add_argument("--min-ratio", type=float, default=0.25,
+                    help="gate floor: current/baseline rate "
+                         "(default %(default)s -- generous, CI "
+                         "runners are noisy)")
+    ap.add_argument("--validate-bench", action="store_true",
+                    help="validate bench_kernel report structure")
+    args = ap.parse_args()
+
+    doc = load_report(args.report)
+    if args.validate_bench:
+        return cmd_validate_bench(doc)
+    if args.gate:
+        return cmd_gate(doc, args.gate, args.min_ratio)
+
+    groups = find_groups(doc)
+    if args.compare:
+        return cmd_compare(groups, *args.compare)
+
+    print_bench(doc)
+    if not groups:
+        if bench_rates(doc):
+            return 0
+        sys.exit(f"{args.report}: no profiler data (run with "
+                 "profile.enabled=true)")
+    for tag in sorted(groups):
+        print_group(groups[tag])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 discoverable.
 
   knob-documented -- every fault.* / lossy.* / node.* / trace.* /
-                     metrics.* / anatomy.* config key read anywhere
+                     metrics.* / anatomy.* / profile.* config key
+                     read anywhere
                      in src/ (getString/getInt/getDouble/getBool)
                      must be listed in the CLI help text in
                      src/harness/experiment.cc, so no fault-injection
@@ -27,7 +28,7 @@ from ..common import Violation
 
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|node|trace|metrics|anatomy|campaign)'
+    r'((?:fault|lossy|node|trace|metrics|anatomy|profile|campaign)'
     r'\.[A-Za-z0-9_.]+)"')
 # One knobDocs[] entry: {"name", "default", "doc..."}. The name is
 # the first string of the brace initializer.

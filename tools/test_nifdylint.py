@@ -176,6 +176,29 @@ def test_knob_documented_campaign_negative():
     assert not vs
 
 
+def test_knob_documented_profile_positive():
+    # profile.* gets the same treatment as the other telemetry
+    # prefixes: an undocumented read anywhere in src/ is flagged.
+    vs = run_rule("knob-documented", {
+        "src/a.cc": 'bool on = conf.getBool("profile.enabled");\n',
+        "src/harness/experiment.cc": "// help text without it\n",
+    })
+    assert rules_hit(vs) == {"knob-documented"}
+    assert any("profile.enabled" in v.message for v in vs)
+
+
+def test_knob_documented_profile_negative():
+    vs = run_rule("knob-documented", {
+        "src/a.cc":
+            'bool on = conf.getBool("profile.enabled");\n'
+            'long iv = conf.getInt("profile.interval", 32);\n',
+        "src/harness/experiment.cc":
+            "//   profile.enabled    host-cost profiler\n"
+            "//   profile.interval   cycles between clock samples\n",
+    })
+    assert not vs
+
+
 # --- knob-in-design -----------------------------------------------------
 
 KNOB_TABLE = (
@@ -215,6 +238,30 @@ def test_knob_in_design_campaign_negative():
         "src/harness/experiment.cc": KNOB_TABLE,
         "src/campaign/engine.cc": CAMPAIGN_KNOB_TABLE,
         "DESIGN.md": "`fault.dropProb` and `campaign.workers`.\n",
+    })
+    assert not vs
+
+
+PROFILE_KNOB_TABLE = (
+    "const KnobDoc knobDocs[] = {\n"
+    '    {"fault.dropProb", "0", "per-hop drop probability"},\n'
+    '    {"profile.enabled", "false", "host-cost profiler"},\n'
+    "};\n")
+
+
+def test_knob_in_design_profile_positive():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": PROFILE_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` only; profile undocumented\n",
+    })
+    assert rules_hit(vs) == {"knob-in-design"}
+    assert any("profile.enabled" in v.message for v in vs)
+
+
+def test_knob_in_design_profile_negative():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": PROFILE_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` and `profile.enabled`.\n",
     })
     assert not vs
 
