@@ -7,7 +7,8 @@
  * a schema-versioned JSON report.
  *
  * Usage: run_experiment [key=value ...] [--json PATH]
- *   workload=KIND   heavy (default), light, cshift, idle
+ *   workload=KIND   heavy (default), light, cshift, collective,
+ *                   idle
  *   cycles=N        cycle budget (default 200000); cshift stops
  *                   early when the pattern completes
  *   timeout=N       hard cycle guard (0 = off): cap the budget at N
@@ -32,6 +33,7 @@
 #include "sim/config.hh"
 #include "sim/log.hh"
 #include "sim/report.hh"
+#include "traffic/collective.hh"
 #include "traffic/cshift.hh"
 #include "traffic/synthetic.hh"
 
@@ -49,11 +51,16 @@ main(int argc, char **argv)
         if (leftovers[i] == "--list-knobs") {
             printRaw(experimentKnobList());
             printRaw("workload\theavy\t"
-                     "workload kind: heavy, light, cshift, idle\n"
+                     "workload kind: heavy, light, cshift, "
+                     "collective, idle\n"
                      "cycles\t200000\tcycle budget\n"
                      "timeout\t0\thard cycle guard; note run.timeout "
                      "when the workload did not finish (0 = off)\n"
                      "words\t120\tcshift payload words per pair\n"
+                     "phases\t9\tcollective phases "
+                     "(barrier/bcast/reduce rotation)\n"
+                     "collData\t0\tdata messages per collective "
+                     "phase per node\n"
                      "csv\tfalse\temit the summary table as CSV too\n");
             return 0;
         }
@@ -64,12 +71,16 @@ main(int argc, char **argv)
         printRaw(experimentCliHelp());
         printRaw("runner keys:\n"
                  "  workload=KIND          heavy, light, cshift, "
-                 "idle\n"
+                 "collective, idle\n"
                  "  cycles=N               cycle budget\n"
                  "  timeout=N              hard cycle guard (0 = "
                  "off)\n"
                  "  words=N                cshift payload words per "
                  "pair\n"
+                 "  phases=N               collective phases "
+                 "(barrier/bcast/reduce)\n"
+                 "  collData=N             data messages per "
+                 "collective phase per node\n"
                  "  csv=BOOL               CSV summary table\n"
                  "  --json PATH            write the JSON run "
                  "report\n");
@@ -111,14 +122,27 @@ main(int argc, char **argv)
                                    exp.barrier(), exp.numNodes(), cp,
                                    board, cfg.seed));
         }
+    } else if (workload == "collective") {
+        CollectiveParams cp;
+        cp.phases = static_cast<int>(conf.getInt("phases", cp.phases));
+        cp.dataMsgs =
+            static_cast<int>(conf.getInt("collData", cp.dataMsgs));
+        // Software mode runs the same tree shape the NIC engines
+        // would, so offload vs software compares like for like.
+        cp.arity = cfg.coll.arity;
+        for (NodeId n = 0; n < exp.numNodes(); ++n)
+            exp.setWorkload(n, std::make_unique<CollectiveWorkload>(
+                                   exp.proc(n), exp.msg(n),
+                                   exp.barrier(), exp.numNodes(), cp,
+                                   cfg.seed));
     } else if (workload != "idle") {
         fatal("unknown workload '%s' (want heavy, light, cshift, "
-              "or idle)",
+              "collective, or idle)",
               workload.c_str());
     }
 
     Cycle ran;
-    if (workload == "cshift")
+    if (workload == "cshift" || workload == "collective")
         ran = exp.runUntilDone(budget);
     else
         ran = exp.runFor(budget);

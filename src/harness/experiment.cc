@@ -138,6 +138,11 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
     barrier_ = std::make_unique<Barrier>(cfg_.numNodes,
                                          cfg_.barrierLatency);
 
+    cfg_.coll.validate();
+    CollConfig collCfg = cfg_.coll;
+    if (collCfg.seed == 0)
+        collCfg.seed = cfg_.seed;
+
     bool nifdyKind =
         cfg_.nicKind == NicKind::nifdy || cfg_.nicKind == NicKind::lossy;
     inOrder_ = topologyInOrder(cfg_.topology) ||
@@ -182,6 +187,13 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
         }
         nic->setKernel(&kernel_);
         kernel_.add(nic.get(), "nic" + std::to_string(n));
+        if (cfg_.coll.offload) {
+            auto eng = std::make_unique<CollEngine>(
+                n, cfg_.numNodes, collCfg, pool_);
+            nic->setCollEngine(eng.get());
+            barrier_->attachEngine(n, eng.get());
+            collEngines_.push_back(std::move(eng));
+        }
         if (nifdyKind) {
             auto *nn = static_cast<NifdyNic *>(nic.get());
             // Live-peer survival under endpoint faults: tolerate
@@ -227,6 +239,12 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
             audit_->watchChannel(&net_->channelAt(c));
         audit_->setExpectFaults(injector_ != nullptr);
         audit_->setExpectNodeFaults(nodeDriver_ != nullptr);
+        if (!collEngines_.empty()) {
+            std::vector<CollEngine *> engs;
+            for (const auto &e : collEngines_)
+                engs.push_back(e.get());
+            audit_->add(makeCollDisciplineChecker(std::move(engs)));
+        }
         kernel_.setAudit(audit_.get());
     }
 
@@ -428,6 +446,41 @@ Experiment::wireMetrics()
         }
     }
 
+    if (!collEngines_.empty()) {
+        auto sumColl =
+            [this](std::uint64_t (CollEngine::*get)() const) {
+                std::uint64_t n = 0;
+                for (const auto &e : collEngines_)
+                    n += ((*e).*get)();
+                return double(n);
+            };
+        m.addGauge("coll.entered", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::entered);
+        });
+        m.addGauge("coll.completed", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::localCompleted);
+        });
+        m.addGauge("coll.degraded", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::degradedCompletions);
+        });
+        m.addGauge("coll.retx", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::retransmissions);
+        });
+        m.addGauge("coll.pruned", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::childrenPruned);
+        });
+        m.addGauge("coll.packets", -1, [sumColl](Cycle) {
+            return sumColl(&CollEngine::collPacketsSent);
+        });
+        m.addGauge("coll.open", -1, [this](Cycle) {
+            std::uint64_t n = 0;
+            for (const auto &e : collEngines_)
+                n += static_cast<std::uint64_t>(
+                    e->openCollectives());
+            return double(n);
+        });
+    }
+
     if (anatomy_) {
         Anatomy *an = anatomy_.get();
         for (int i = 0; i < numStallCauses; ++i) {
@@ -530,6 +583,12 @@ Experiment::runUntilDone(Cycle maxCycles)
         std::max<Cycle>(50000, 2 * cfg_.lossy.effMaxTimeout());
     if (cfg_.nodeReclaim > 0)
         grace = std::max(grace, 2 * cfg_.nodeReclaim);
+    // A crash mid-collective recovers by probing/pruning/re-parenting
+    // through the tree; give the stall detector room for the worst
+    // case before declaring the run unfinishable.
+    if (!collEngines_.empty())
+        grace = std::max(
+            grace, 2 * cfg_.coll.worstCaseRecovery(cfg_.numNodes));
     std::uint64_t lastProgress = ~std::uint64_t(0);
     Cycle progressAt = 0;
     Cycle ran = kernel_.run(
@@ -736,6 +795,33 @@ Experiment::statsTable() const
         }
     }
 
+    if (!collEngines_.empty()) {
+        std::uint64_t entered = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t degraded = 0;
+        std::uint64_t retx = 0;
+        std::uint64_t prunedKids = 0;
+        std::uint64_t cpkts = 0;
+        for (const auto &e : collEngines_) {
+            entered += e->entered();
+            completed += e->localCompleted();
+            degraded += e->degradedCompletions();
+            retx += e->retransmissions();
+            prunedKids += e->childrenPruned();
+            cpkts += e->collPacketsSent();
+        }
+        t.row({"collectives entered / completed",
+               Table::num(static_cast<long>(entered)) + " / " +
+                   Table::num(static_cast<long>(completed))});
+        t.row({"collective packets / retx",
+               Table::num(static_cast<long>(cpkts)) + " / " +
+                   Table::num(static_cast<long>(retx))});
+        if (degraded > 0 || prunedKids > 0)
+            t.row({"collectives degraded / children pruned",
+                   Table::num(static_cast<long>(degraded)) + " / " +
+                       Table::num(static_cast<long>(prunedKids))});
+    }
+
     t.row({"fabric flits switched",
            Table::num(static_cast<long>(net_->totalFlitsSwitched()))});
     std::uint64_t busy = 0;
@@ -775,6 +861,10 @@ Experiment::fillReport(RunReport &rep) const
                        std::to_string(nifdyCfg_.dialogs));
         rep.echoConfig("nifdy.window",
                        std::to_string(nifdyCfg_.window));
+    }
+    if (cfg_.coll.offload) {
+        rep.echoConfig("coll.offload", "nic");
+        rep.echoConfig("coll.arity", std::to_string(cfg_.coll.arity));
     }
 
     Cycle now = kernel_.now();
@@ -862,6 +952,44 @@ Experiment::fillReport(RunReport &rep) const
                           std::uint64_t(totalDeadPeers()));
             rep.addMetric("nifdy.abandoned", abandoned);
         }
+    }
+
+    if (!collEngines_.empty()) {
+        std::uint64_t entered = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t abandoned = 0;
+        std::uint64_t degraded = 0;
+        std::uint64_t retx = 0;
+        std::uint64_t prunedKids = 0;
+        std::uint64_t erej = 0;
+        std::uint64_t cpkts = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t tombs = 0;
+        std::uint64_t evict = 0;
+        for (const auto &e : collEngines_) {
+            entered += e->entered();
+            completed += e->localCompleted();
+            abandoned += e->localAbandoned();
+            degraded += e->degradedCompletions();
+            retx += e->retransmissions();
+            prunedKids += e->childrenPruned();
+            erej += e->epochRejects();
+            cpkts += e->collPacketsSent();
+            probes += e->probesSent();
+            tombs += e->tombstoneReplies();
+            evict += e->slotEvictions();
+        }
+        rep.addMetric("coll.entered", entered);
+        rep.addMetric("coll.completed", completed);
+        rep.addMetric("coll.abandoned", abandoned);
+        rep.addMetric("coll.degraded", degraded);
+        rep.addMetric("coll.retx", retx);
+        rep.addMetric("coll.pruned", prunedKids);
+        rep.addMetric("coll.epoch.rejects", erej);
+        rep.addMetric("coll.packets", cpkts);
+        rep.addMetric("coll.probes", probes);
+        rep.addMetric("coll.tomb.replies", tombs);
+        rep.addMetric("coll.evictions", evict);
     }
 
     if (anatomy_) {
@@ -995,6 +1123,35 @@ experimentFromConfig(const Config &conf)
     fatal_if(reclaim < 0, "node.reclaimTimeout must be >= 0");
     cfg.nodeReclaim = static_cast<Cycle>(reclaim);
 
+    std::string coll = conf.getString("coll.offload", "off");
+    if (coll == "off" || coll == "software")
+        cfg.coll.offload = false;
+    else if (coll == "nic")
+        cfg.coll.offload = true;
+    else
+        fatal("unknown coll.offload '%s' (want off or nic)",
+              coll.c_str());
+    cfg.coll.arity = static_cast<int>(
+        conf.getInt("coll.arity", cfg.coll.arity));
+    cfg.coll.timeout = static_cast<Cycle>(conf.getInt(
+        "coll.timeout", static_cast<long>(cfg.coll.timeout)));
+    cfg.coll.backoffFactor = conf.getDouble("coll.backoffFactor",
+                                            cfg.coll.backoffFactor);
+    cfg.coll.maxTimeout = static_cast<Cycle>(conf.getInt(
+        "coll.maxTimeout", static_cast<long>(cfg.coll.maxTimeout)));
+    cfg.coll.jitterFrac =
+        conf.getDouble("coll.jitterFrac", cfg.coll.jitterFrac);
+    cfg.coll.maxRetries = static_cast<int>(
+        conf.getInt("coll.maxRetries", cfg.coll.maxRetries));
+    cfg.coll.probeTimeout = static_cast<Cycle>(conf.getInt(
+        "coll.probeTimeout",
+        static_cast<long>(cfg.coll.probeTimeout)));
+    cfg.coll.maxProbes = static_cast<int>(
+        conf.getInt("coll.maxProbes", cfg.coll.maxProbes));
+    cfg.coll.seed = static_cast<std::uint64_t>(conf.getInt(
+        "coll.seed", static_cast<long>(cfg.coll.seed)));
+    cfg.coll.validate();
+
     cfg.trace.path = conf.getString("trace.path", cfg.trace.path);
     cfg.trace.sampleRate =
         conf.getDouble("trace.sampleRate", cfg.trace.sampleRate);
@@ -1100,6 +1257,29 @@ const KnobDoc knobDocs[] = {
      "live peers reclaim protocol state aimed at a silent peer "
      "after N idle cycles (0 = off; 25000 when a node plan is "
      "active)"},
+    {"coll.offload", "off",
+     "NIC-resident collectives: off (software barrier) or nic "
+     "(barrier/bcast/reduce combined in the NIC step path)"},
+    {"coll.arity", "4",
+     "collective combining-tree fan-out (parent(n) = (n-1)/k)"},
+    {"coll.timeout", "3000",
+     "initial contribution retransmit timeout in cycles"},
+    {"coll.backoffFactor", "2",
+     "collective timeout multiplier per retransmission (>= 1)"},
+    {"coll.maxTimeout", "0",
+     "collective backoff ceiling in cycles (0 = 16x coll.timeout)"},
+    {"coll.jitterFrac", "0.25",
+     "collective retransmit deadline jitter fraction, [0, 1)"},
+    {"coll.maxRetries", "6",
+     "unanswered contribution rounds before a parent is presumed "
+     "dead and the child re-parents"},
+    {"coll.probeTimeout", "6000",
+     "silence gate before (and between) probes of an awaited child"},
+    {"coll.maxProbes", "4",
+     "unanswered probes before a silent subtree is pruned (the "
+     "collective then completes degraded among survivors)"},
+    {"coll.seed", "0",
+     "collective jitter RNG seed (0 = experiment seed)"},
     {"trace.path", "",
      "write a Chrome-trace-event packet-lifecycle trace here"},
     {"trace.sampleRate", "1",
@@ -1203,6 +1383,26 @@ experimentCliHelp()
           "off; defaults to 25000\n"
           "                         when a node-fault plan is "
           "active)\n"
+          "NIC-resident collectives:\n"
+          "  coll.offload=MODE      off (software barrier) or nic "
+          "(NIC combining tree)\n"
+          "  coll.arity=K           combining-tree fan-out\n"
+          "  coll.timeout=N         initial contribution retransmit "
+          "timeout\n"
+          "  coll.backoffFactor=F   timeout multiplier per "
+          "retransmission (>= 1)\n"
+          "  coll.maxTimeout=N      backoff ceiling (0 = 16x "
+          "coll.timeout)\n"
+          "  coll.jitterFrac=F      retransmit jitter fraction "
+          "[0, 1)\n"
+          "  coll.maxRetries=N      silent-parent rounds before "
+          "re-parenting\n"
+          "  coll.probeTimeout=N    silence gate before probing an "
+          "awaited child\n"
+          "  coll.maxProbes=N       unanswered probes before a "
+          "subtree is pruned\n"
+          "  coll.seed=N            collective jitter RNG seed (0 = "
+          "experiment seed)\n"
           "telemetry:\n"
           "  trace.path=FILE        write a Chrome-trace-event "
           "packet-lifecycle trace\n"

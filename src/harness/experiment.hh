@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/coll.hh"
 #include "nic/nifdyparams.hh"
 #include "nic/plainnic.hh"
 #include "nic/retransmit.hh"
@@ -71,6 +72,10 @@ struct ExperimentConfig
      * 0 disables. Defaulted by experimentFromConfig() to 25000 when
      * a node-fault plan is active and the knob is unset. */
     Cycle nodeReclaim = 0;
+    /** NIC-resident collectives (coll.* knobs): barrier offload and
+     * the bcast/reduce engines. Off by default, and then the run is
+     * byte-identical to pre-collective builds. */
+    CollConfig coll;
     ProcParams proc;
     MessageParams msg;
     /** Let the software exploit in-order delivery when available. */
@@ -129,6 +134,14 @@ class Experiment
 
     /** The endpoint-fault driver (nullptr when the plan is empty). */
     NodeFaultDriver *nodeFaults() { return nodeDriver_.get(); }
+
+    /** Node @p n's NIC collective engine (nullptr unless
+     * coll.offload is on). */
+    CollEngine *collEngine(NodeId n)
+    {
+        return collEngines_.empty() ? nullptr
+                                    : collEngines_.at(n).get();
+    }
 
     /** Has node @p n crashed at least once during this run? */
     bool nodeCrashedEver(NodeId n) const
@@ -232,6 +245,10 @@ class Experiment
     std::vector<NifdyNic *> nifdyNics_;
     /** Downcast cache of nics_ when nicKind == lossy. */
     std::vector<LossyNifdyNic *> lossyNics_;
+    /** Per-node NIC collective engines (empty unless coll.offload).
+     * Teardown order vs nics_ is irrelevant: a NIC only touches its
+     * engine inside step(). */
+    std::vector<std::unique_ptr<CollEngine>> collEngines_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<MessageLayer>> msgs_;
     std::vector<std::unique_ptr<Workload>> workloads_;

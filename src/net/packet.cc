@@ -18,6 +18,8 @@ packetTypeName(PacketType t)
         return "bulk";
       case PacketType::ack:
         return "ack";
+      case PacketType::coll:
+        return "coll";
     }
     return "?";
 }
@@ -37,6 +39,13 @@ Packet::toString() const
             os << " grant";
         if (ackRejectsBulk)
             os << " reject";
+    }
+    if (type == PacketType::coll) {
+        os << " cseq=" << collSeq << " ckind=" << int(collKind)
+           << " cop=" << int(collOp) << " rnd=" << collRound
+           << " cval=" << collValue << " cnt=" << collCount;
+        if (collDegraded)
+            os << " degraded";
     }
     if (bulkRequest)
         os << " breq";

@@ -26,7 +26,8 @@ enum class PacketType : std::uint8_t
 {
     scalar, //!< ordinary data packet, individually acked
     bulk,   //!< bulk-dialog data packet, windowed acks
-    ack     //!< NIFDY acknowledgment, consumed by the receiving NIC
+    ack,    //!< NIFDY acknowledgment, consumed by the receiving NIC
+    coll    //!< NIC-resident collective packet (src/coll), ctrlOnly
 };
 
 const char *packetTypeName(PacketType t);
@@ -111,6 +112,17 @@ struct Packet
      * 1-bit compression.
      */
     std::int64_t scalarIndex = -1;
+    //! @}
+
+    //! @name Collective header (valid when type == coll; src/coll)
+    //! @{
+    std::int32_t collSeq = -1;    //!< collective sequence number
+    std::uint8_t collKind = 0;    //!< CollKind on the wire
+    std::uint8_t collOp = 0;      //!< CollOp on the wire
+    std::int32_t collRound = 0;   //!< contribution (re)send round
+    std::int32_t collCount = 0;   //!< participants combined below
+    std::int64_t collValue = 0;   //!< combined subtree value / result
+    bool collDegraded = false;    //!< combined on a pruned tree
     //! @}
 
     //! @name Message-layer bookkeeping (not on the wire)

@@ -1,5 +1,6 @@
 #include "nic/nic.hh"
 
+#include "coll/coll.hh"
 #include "sim/anatomy.hh"
 #include "sim/audit.hh"
 #include "sim/log.hh"
@@ -44,7 +45,14 @@ Nic::pollReceive(Cycle now)
 bool
 Nic::transitIdle() const
 {
-    return pumpsIdle();
+    return pumpsIdle() && (coll_ == nullptr || coll_->idle());
+}
+
+bool
+Nic::injectBusyWithColl(NetClass cls) const
+{
+    const OutStream &os = outStream_[static_cast<int>(cls)];
+    return os.pkt && os.pkt->type == PacketType::coll;
 }
 
 bool
@@ -64,6 +72,8 @@ Nic::step(Cycle now)
 {
     if (anatomy::active())
         classifyStalls(now);
+    if (coll_ && !crashed_)
+        coll_->pump(now);
     pumpEject(now);
     pumpInject(now);
 }
@@ -132,6 +142,8 @@ Nic::crash(Cycle now)
             blackhole_.insert(is.assembling->id);
     reservedArrivals_ = 0;
     onCrash(now);
+    if (coll_)
+        coll_->onCrash(now);
 }
 
 void
@@ -143,6 +155,8 @@ Nic::restart(Cycle now)
     audit::onNodeRestart(node_, epoch_, now);
     trace::onNodeRestart(node_, epoch_, now);
     onRestart(now);
+    if (coll_)
+        coll_->onRestart(now);
 }
 
 NIFDY_HOT bool
@@ -152,6 +166,11 @@ Nic::acceptArrival(const Packet &pkt)
         blackhole_.insert(pkt.id); // nifdy:alloc-ok(crashed-node path only, not steady state)
         return true;
     }
+    // Collective packets bypass the arrivals FIFO entirely (they are
+    // consumed NIC-side by the engine), so they reserve no slot and
+    // exert no processor-facing backpressure.
+    if (pkt.type == PacketType::coll)
+        return true;
     return canAccept(pkt);
 }
 
@@ -162,6 +181,14 @@ Nic::deliverArrival(Packet *pkt, Cycle now)
     if (it != blackhole_.end()) {
         blackhole_.erase(it);
         crashDiscard(pkt, now, "node crashed: delivery black-holed");
+        return;
+    }
+    if (pkt->type == PacketType::coll) {
+        panic_if(!coll_, "node %d received a collective packet with "
+                         "no engine attached",
+                 node_);
+        audit::onDeliver(*pkt, node_);
+        coll_->deliver(pkt, now);
         return;
     }
     onPacketDelivered(pkt, now);
@@ -206,7 +233,15 @@ Nic::pumpInject(Cycle now)
             continue;
         OutStream &os = outStream_[cls];
         if (!os.pkt) {
-            os.pkt = crashed_ ? nullptr : nextToInject(nc, now);
+            if (!crashed_) {
+                // Collective traffic has strict injection priority:
+                // it is tiny, latency-critical, and never queued
+                // behind a long data backlog.
+                if (coll_)
+                    os.pkt = coll_->nextToInject(nc, now);
+                if (!os.pkt)
+                    os.pkt = nextToInject(nc, now);
+            }
             if (!os.pkt)
                 continue;
             panic_if(os.pkt->netClass != nc,

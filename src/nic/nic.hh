@@ -26,6 +26,8 @@
 namespace nifdy
 {
 
+class CollEngine;
+
 /** Parameters shared by all NIC variants. */
 struct NicParams
 {
@@ -88,6 +90,15 @@ class Nic : public Steppable
     {
         injectBoard_ = board;
     }
+
+    /**
+     * Attach a NIC-resident collective engine (coll.offload=nic).
+     * The NIC pumps it every cycle, drains its outbox with strict
+     * injection priority over its own traffic, routes delivered
+     * PacketType::coll packets into it, and forwards crash/restart.
+     */
+    void setCollEngine(CollEngine *eng) { coll_ = eng; }
+    CollEngine *collEngine() const { return coll_; }
     //! @}
 
     void step(Cycle now) override;
@@ -205,6 +216,12 @@ class Nic : public Steppable
     /** Flits still being serialized or reassembled? */
     bool pumpsIdle() const;
 
+    /** Is class @p cls's injection stream occupied by a collective
+     * packet (last cycle's coll-priority grab)? Lets subclass
+     * classifyStalls() blame StallCause::collDefer instead of a
+     * generic injectStall. */
+    bool injectBusyWithColl(NetClass cls) const;
+
     void noteActivity()
     {
         if (kernel_)
@@ -233,6 +250,7 @@ class Nic : public Steppable
 
     Network::NodePorts ports_;
     Kernel *kernel_ = nullptr;
+    CollEngine *coll_ = nullptr;
 
     //! @name Injection state
     //! @{

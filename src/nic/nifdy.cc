@@ -943,7 +943,7 @@ NifdyNic::poolStallCause(const PoolEntry &e, std::size_t idx) const
     // waiting only on injection bandwidth (credits / class RR).
     const Packet &pkt = *e.pkt;
     if (pkt.noAck)
-        return StallCause::injectStall;
+        return injectCause(pkt);
     for (std::size_t j = 0; j < idx; ++j)
         if (sendPool_[j].pkt->dst == pkt.dst)
             return StallCause::ackWait;
@@ -953,15 +953,22 @@ NifdyNic::poolStallCause(const PoolEntry &e, std::size_t idx) const
         if (out_.exitSent || out_.closePending)
             return StallCause::windowClosed;
         return out_.unacked() < out_.window
-                   ? StallCause::injectStall
+                   ? injectCause(pkt)
                    : StallCause::windowClosed;
     }
     for (NodeId d : opt_)
         if (d == pkt.dst)
             return StallCause::optSlot;
     return static_cast<int>(opt_.size()) < cfg_.opt
-               ? StallCause::injectStall
+               ? injectCause(pkt)
                : StallCause::optCap;
+}
+
+StallCause
+NifdyNic::injectCause(const Packet &pkt) const
+{
+    return injectBusyWithColl(pkt.netClass) ? StallCause::collDefer
+                                            : StallCause::injectStall;
 }
 
 bool

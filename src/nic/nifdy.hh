@@ -336,6 +336,9 @@ class NifdyNic : public Nic
     void classifyStalls(Cycle now) override;
     StallCause poolStallCause(const PoolEntry &e,
                               std::size_t idx) const;
+    /** injectStall, unless the slot is held by a priority
+     * collective packet: then collDefer. */
+    StallCause injectCause(const Packet &pkt) const;
 
     /** Packets released on behalf of dead peers (subclasses add
      * their own purges, e.g. retransmission queues). */

@@ -38,7 +38,11 @@ NIFDY_HOT void
 BufferedNic::classifyStalls(Cycle now)
 {
     for (Packet *pkt : sendQueue_)
-        anatomy::onStall(*pkt, StallCause::injectStall, now);
+        anatomy::onStall(*pkt,
+                         injectBusyWithColl(pkt->netClass)
+                             ? StallCause::collDefer
+                             : StallCause::injectStall,
+                         now);
 }
 
 bool

@@ -1,5 +1,6 @@
 #include "proc/barrier.hh"
 
+#include "coll/coll.hh"
 #include "sim/log.hh"
 
 namespace nifdy
@@ -7,17 +8,33 @@ namespace nifdy
 
 Barrier::Barrier(int numNodes, Cycle latency)
     : numNodes_(numNodes), latency_(latency),
-      nodeGen_(numNodes, -1), excused_(numNodes, false)
+      nodeGen_(static_cast<std::size_t>(numNodes), -1),
+      excused_(static_cast<std::size_t>(numNodes), 0)
 {
     panic_if(numNodes_ < 1, "barrier needs participants");
 }
 
 void
+Barrier::attachEngine(NodeId n, CollEngine *eng)
+{
+    panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
+    panic_if(eng == nullptr, "barrier: attachEngine(nullptr)");
+    if (engines_.empty())
+        engines_.assign(static_cast<std::size_t>(numNodes_), nullptr);
+    engines_[static_cast<std::size_t>(n)] = eng;
+}
+
+NIFDY_HOT void
 Barrier::arrive(NodeId n, Cycle now)
 {
     panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
     if (excused_[n])
         return; // free-runner: virtually arrived already
+    if (!engines_.empty()) {
+        panic_if(!engines_[n], "barrier: node %d has no engine", n);
+        engines_[n]->enter(CollOp::barrier, 0, now);
+        return;
+    }
     panic_if(nodeGen_[n] >= generation_,
              "node %d arrived twice at barrier generation %d", n,
              generation_);
@@ -33,8 +50,14 @@ Barrier::excuse(NodeId n, Cycle now)
     panic_if(n < 0 || n >= numNodes_, "barrier: bad node %d", n);
     if (excused_[n])
         return;
-    excused_[n] = true;
+    excused_[n] = 1;
     ++excusedCount_;
+    if (!engines_.empty()) {
+        // The engine abandons any pending collective and turns into
+        // a pure combiner/forwarder; nothing to complete here.
+        engines_[n]->setExcused(now);
+        return;
+    }
     // If the node had not yet arrived at the current generation, it
     // arrives virtually now -- possibly completing the barrier for
     // everyone still waiting on it.
@@ -45,18 +68,22 @@ Barrier::excuse(NodeId n, Cycle now)
     }
 }
 
-bool
+NIFDY_HOT bool
 Barrier::arrived(NodeId n) const
 {
+    if (!engines_.empty())
+        return engines_[n]->localPending();
     return nodeGen_[n] >= generation_;
 }
 
-bool
+NIFDY_HOT bool
 Barrier::released(NodeId n, Cycle now)
 {
     // Excused (crashed) nodes never block and are never blocked.
     if (excused_[n])
         return true;
+    if (!engines_.empty())
+        return engines_[n]->localReleased();
     // A node that has not arrived at the current generation was
     // released from every earlier one.
     if (nodeGen_[n] < generation_)

@@ -1,13 +1,23 @@
 /**
  * @file
- * Global barrier with a configurable release latency, modeling the
- * CM-5 control network used by bulk-synchronous workloads and by
- * the Strata-style optimized barriers of [BK94].
+ * Global barrier facade with two backends.
+ *
+ * Software (default): a zero-message oracle with a configurable
+ * release latency, modeling the CM-5 control network used by
+ * bulk-synchronous workloads and by the Strata-style optimized
+ * barriers of [BK94].
+ *
+ * NIC offload (coll.offload=nic): arrive/released delegate to each
+ * node's CollEngine (src/coll), which runs the barrier as collective
+ * packets combined in the NIC step path; the release latency is then
+ * whatever the fabric delivers, which is the quantity bench_ext_coll
+ * measures against this software baseline.
  */
 
 #ifndef NIFDY_PROC_BARRIER_HH
 #define NIFDY_PROC_BARRIER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/types.hh"
@@ -15,19 +25,38 @@
 namespace nifdy
 {
 
+class CollEngine;
+
 class Barrier
 {
   public:
     /**
      * @param numNodes participants
      * @param latency cycles between the last arrival and release
+     *                (software backend only)
      */
     explicit Barrier(int numNodes, Cycle latency = 100);
+
+    /**
+     * Attach node @p n's NIC collective engine. Once any engine is
+     * attached, every node must have one and arrive()/released()
+     * delegate to them; the software oracle fields below go unused.
+     */
+    void attachEngine(NodeId n, CollEngine *eng);
+
+    /** Node @p n's engine (nullptr in software mode). */
+    CollEngine *engine(NodeId n) const
+    {
+        return engines_.empty() ? nullptr : engines_[n];
+    }
+
+    /** Is the NIC-offload backend active? */
+    bool offloaded() const { return !engines_.empty(); }
 
     /** Node @p n arrives at the current barrier generation. */
     void arrive(NodeId n, Cycle now);
 
-    /** Has node @p n already arrived at the current generation? */
+    /** Has node @p n arrived at a barrier it is not yet past? */
     bool arrived(NodeId n) const;
 
     /** May node @p n proceed past the barrier it arrived at? */
@@ -42,9 +71,9 @@ class Barrier
     void excuse(NodeId n, Cycle now);
 
     /** Is node @p n permanently excused? */
-    bool excused(NodeId n) const { return excused_[n]; }
+    bool excused(NodeId n) const { return excused_[n] != 0; }
 
-    /** Completed barrier episodes. */
+    /** Completed barrier episodes (software backend). */
     int generation() const { return generation_; }
 
     Cycle latency() const { return latency_; }
@@ -57,9 +86,13 @@ class Barrier
     Cycle releaseAt_ = neverCycle;
     /** Generation at which each node last arrived. */
     std::vector<int> nodeGen_;
-    /** Permanently excused (crashed) nodes. */
-    std::vector<bool> excused_;
+    /** Permanently excused (crashed) nodes. Flat bytes, not
+     * vector<bool>: the per-cycle released() polls stay branch-free
+     * loads. */
+    std::vector<std::uint8_t> excused_;
     int excusedCount_ = 0;
+    /** Per-node collective engines; empty = software backend. */
+    std::vector<CollEngine *> engines_;
 };
 
 } // namespace nifdy

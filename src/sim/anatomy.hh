@@ -87,15 +87,18 @@ enum class StallCause : int
     epochRecovery, //!< rejected by a stale/newer incarnation epoch
     reorderWait,  //!< buffered in the bulk reorder window (or the
                   //!< window drain blocked on a full arrival FIFO)
-    swReceive     //!< delivered, waiting for the processor to poll
+    swReceive,    //!< delivered, waiting for the processor to poll
+    collDefer     //!< injection slot taken by a priority collective
+                  //!< packet (coll.offload=nic)
 };
 
-inline constexpr int numStallCauses = 12;
+inline constexpr int numStallCauses = 13;
 
 /** Short slugs, metric/trace-name suffixes ("anatomy.stall.<slug>"). */
 inline constexpr const char *stallCauseSlugs[numStallCauses] = {
     "swsend", "ackwait", "optslot",  "optcap", "window",  "inject",
     "arb",    "wire",    "retx",     "epoch",  "reorder", "swrecv",
+    "coll",
 };
 
 /** Human-readable cause labels (blame tables). */
@@ -104,6 +107,7 @@ inline constexpr const char *stallCauseLabels[numStallCauses] = {
     "OPT cap",          "window closed",   "inject backpressure",
     "router arb loss",  "wire transit",    "retx backoff",
     "epoch recovery",   "reorder wait",    "receive poll",
+    "collective defer",
 };
 
 inline const char *

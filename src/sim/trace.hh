@@ -64,6 +64,16 @@ inline constexpr const char *fabricCorrupt = "fabric.packet.corrupt";
 inline constexpr const char *epochReject = "nic.epoch.reject";
 inline constexpr const char *nodeCrash = "node.crash";
 inline constexpr const char *nodeRestart = "node.restart";
+inline constexpr const char *collEnter = "coll.enter";
+inline constexpr const char *collExit = "coll.exit";
+inline constexpr const char *collContribSend = "coll.contrib.send";
+inline constexpr const char *collContribRetx = "coll.contrib.retx";
+inline constexpr const char *collReleaseSend = "coll.release.send";
+inline constexpr const char *collProbeSend = "coll.probe.send";
+inline constexpr const char *collStatusSend = "coll.status.send";
+inline constexpr const char *collPeerPrune = "coll.peer.prune";
+inline constexpr const char *collDegrade = "coll.degrade";
+inline constexpr const char *collEpochReject = "coll.epoch.reject";
 
 } // namespace ev
 
@@ -73,6 +83,16 @@ inline std::uint64_t
 nodeChainId(NodeId node)
 {
     return (std::uint64_t(1) << 62) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(node));
+}
+
+/** Async chain id for one node's collective-engine lifecycle
+ * (coll.* events). Bit 61 keeps it disjoint from both packet root
+ * ids and nodeChainId's bit-62 space. */
+inline std::uint64_t
+collChainId(NodeId node)
+{
+    return (std::uint64_t(1) << 61) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(node));
 }
 
@@ -381,6 +401,19 @@ onNodeRestart(NodeId node, std::uint32_t epoch, Cycle now)
     (void)epoch;
     if (Tracer *t = sink())
         t->idEvent(ev::nodeRestart, nodeChainId(node), now, node);
+    (void)node;
+    (void)now;
+}
+
+/** Collective-engine event (any ev::coll* name) on @p node's
+ * collective chain. Coll packets are ctrlOnly, so their protocol
+ * effects trace here rather than through packetEvent(). */
+inline void
+onColl(const char *name, NodeId node, Cycle now)
+{
+    if (Tracer *t = sink())
+        t->idEvent(name, collChainId(node), now, node);
+    (void)name;
     (void)node;
     (void)now;
 }

@@ -1,0 +1,247 @@
+#include "traffic/collective.hh"
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+CollectiveWorkload::CollectiveWorkload(Processor &proc, MessageLayer &msg,
+                                       Barrier &barrier, int numNodes,
+                                       const CollectiveParams &params,
+                                       std::uint64_t seed)
+    : Workload(proc, msg, &barrier, seed), params_(params),
+      numNodes_(numNodes),
+      recvFrom_(static_cast<std::size_t>(numNodes), 0)
+{
+    panic_if(numNodes_ < 2, "collective traffic needs >= 2 nodes");
+    panic_if(params_.phases < 1, "collective traffic needs >= 1 phase");
+    panic_if(params_.arity < 1, "collective tree arity must be >= 1");
+    panic_if(params_.dataMsgs > 0 && params_.dataMsgPackets < 2,
+             "data messages must be >= 2 packets to stay "
+             "distinguishable from single-packet collective signals");
+}
+
+CollOp
+CollectiveWorkload::opFor(int phase) const
+{
+    if (!params_.rotateOps)
+        return CollOp::barrier;
+    switch (phase % 3) {
+      case 0:
+        return CollOp::barrier;
+      case 1:
+        return CollOp::bcast;
+      default:
+        return CollOp::reduce;
+    }
+}
+
+std::int64_t
+CollectiveWorkload::valueFor(int phase) const
+{
+    return static_cast<std::int64_t>(me() + 1) * 1000 + phase;
+}
+
+void
+CollectiveWorkload::onReceive(const Packet &pkt, Cycle now)
+{
+    (void)now;
+    // Collective signals are the only single-packet messages this
+    // workload exchanges; data bursts are always longer.
+    if (pkt.msgLen == 1)
+        ++recvFrom_[static_cast<std::size_t>(pkt.src)];
+}
+
+void
+CollectiveWorkload::tick(Cycle now)
+{
+    // A crashed-or-restarted node is a frozen free-runner: it never
+    // re-enters the phase structure, and (offload mode) its NIC
+    // engine keeps forwarding for the survivors without us. It must
+    // still sink the network, though -- survivors keep aiming data
+    // bursts at it, and a full arrivals FIFO would backpressure the
+    // fabric into a wedge.
+    if (barrier_->excused(me())) {
+        pollNetwork(now);
+        return;
+    }
+    if (done()) {
+        pollNetwork(now); // drain stragglers for slower peers
+        return;
+    }
+    if (receiveOne(now))
+        return;
+    if (msg_.pump(now))
+        return;
+    if (barrier_->offloaded())
+        tickOffload(now);
+    else
+        tickSoftware(now);
+}
+
+/** Queue this phase's optional data burst; true if newly queued. */
+bool
+CollectiveWorkload::queueDataBurst()
+{
+    if (dataQueued_ || params_.dataMsgs <= 0)
+        return false;
+    dataQueued_ = true;
+    int queued = 0;
+    for (int m = 0; m < params_.dataMsgs; ++m) {
+        // Next live peer, rotating with the phase so traffic spreads.
+        NodeId dst = static_cast<NodeId>(
+            (me() + 1 + phase_ + m) % numNodes_);
+        for (int probe = 0; probe < numNodes_ - 1; ++probe) {
+            if (dst != me() && !barrier_->excused(dst))
+                break;
+            dst = static_cast<NodeId>((dst + 1) % numNodes_);
+        }
+        if (dst == me() || barrier_->excused(dst))
+            continue; // everyone else is gone
+        msg_.enqueuePackets(dst, params_.dataMsgPackets,
+                            NetClass::request);
+        ++queued;
+    }
+    return queued > 0;
+}
+
+void
+CollectiveWorkload::enterCollective(Cycle now)
+{
+    CollOp op = opFor(phase_);
+    if (op == CollOp::barrier) {
+        barrier_->arrive(me(), now);
+        return;
+    }
+    CollEngine *eng = barrier_->engine(me());
+    panic_if(!eng, "collective workload: offload tick with no engine");
+    eng->enter(op, valueFor(phase_), now);
+}
+
+void
+CollectiveWorkload::tickOffload(Cycle now)
+{
+    switch (state_) {
+      case State::send:
+        if (queueDataBurst())
+            return; // pump drains it on later ticks
+        if (!msg_.allSent()) {
+            pollNetwork(now);
+            return;
+        }
+        enterCollective(now);
+        state_ = State::wait;
+        return;
+      case State::wait: {
+        if (!barrier_->released(me(), now)) {
+            pollNetwork(now);
+            return;
+        }
+        CollEngine *eng = barrier_->engine(me());
+        checksum_ = (checksum_ ^
+                     (static_cast<std::uint64_t>(eng->lastResult()) +
+                      0x9e3779b97f4a7c15ull +
+                      static_cast<std::uint64_t>(phase_))) *
+                    1099511628211ull;
+        if (eng->lastDegraded())
+            ++degradedSeen_;
+        ++collectivesDone_;
+        ++phase_;
+        dataQueued_ = false;
+        state_ = State::send;
+        return;
+      }
+      default:
+        panic("collective workload: software state %d in offload mode",
+              static_cast<int>(state_));
+    }
+}
+
+/**
+ * Have all this phase's expected children contributed (or been
+ * excused)? Cumulative counts: after phase p completes, each live
+ * child has sent exactly p+1 single-packet messages our way.
+ */
+bool
+CollectiveWorkload::childrenSatisfied() const
+{
+    NodeId first = collFirstChild(me(), params_.arity);
+    int kids = collNumChildren(me(), params_.arity, numNodes_);
+    for (int i = 0; i < kids; ++i) {
+        NodeId c = static_cast<NodeId>(first + i);
+        if (recvFrom(c) < phase_ + 1 && !barrier_->excused(c))
+            return false;
+    }
+    return true;
+}
+
+/** Queue this phase's one-packet release to every live child. */
+void
+CollectiveWorkload::queueReleases()
+{
+    NodeId first = collFirstChild(me(), params_.arity);
+    int kids = collNumChildren(me(), params_.arity, numNodes_);
+    for (int i = 0; i < kids; ++i) {
+        NodeId c = static_cast<NodeId>(first + i);
+        if (!barrier_->excused(c))
+            msg_.enqueuePackets(c, 1, NetClass::reply);
+    }
+}
+
+void
+CollectiveWorkload::tickSoftware(Cycle now)
+{
+    NodeId parent = collParent(me(), params_.arity);
+    switch (state_) {
+      case State::send:
+        if (queueDataBurst())
+            return;
+        if (!msg_.allSent()) {
+            pollNetwork(now);
+            return;
+        }
+        state_ = State::gather;
+        [[fallthrough]];
+      case State::gather:
+        if (!childrenSatisfied()) {
+            pollNetwork(now);
+            return;
+        }
+        if (parent == invalidNode) {
+            // Root: the tree is in; release the survivors.
+            queueReleases();
+            state_ = State::releasePump;
+        } else {
+            msg_.enqueuePackets(parent, 1, NetClass::request);
+            state_ = State::releaseWait;
+        }
+        return;
+      case State::releaseWait:
+        // An excused parent can never release us; its own parent (or
+        // the root) will have completed without our subtree's chain,
+        // so we self-release degraded rather than wedge.
+        if (recvFrom(parent) < phase_ + 1 &&
+            !barrier_->excused(parent)) {
+            pollNetwork(now);
+            return;
+        }
+        queueReleases();
+        state_ = State::releasePump;
+        return;
+      case State::releasePump:
+        if (!msg_.allSent()) {
+            pollNetwork(now);
+            return;
+        }
+        ++collectivesDone_;
+        ++phase_;
+        dataQueued_ = false;
+        state_ = State::send;
+        return;
+      default:
+        panic("collective workload: offload state %d in software mode",
+              static_cast<int>(state_));
+    }
+}
+
+} // namespace nifdy

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Collective-heavy workload: barrier / broadcast / reduce phases,
+ * with an optional data burst per phase.
+ *
+ * Two backends, selected by the Barrier facade:
+ *  - software (coll.offload=off): the collective is run as real
+ *    messages over a k-ary tree -- one-packet contributions climb to
+ *    the root, one-packet releases fan back down -- charging the full
+ *    processor send/receive cost structure. This is the software
+ *    barrier bench_ext_coll measures against.
+ *  - NIC offload (coll.offload=nic): the workload only enters the
+ *    collective (Barrier::arrive / CollEngine::enter) and polls for
+ *    the release; combining happens in the NIC step path.
+ *
+ * Crash composition: an excused (crashed/restarted) node freezes as
+ * a free-runner; survivors skip excused children when gathering and
+ * excused parents when awaiting release, so the software tree -- like
+ * the offloaded one -- completes among survivors instead of wedging.
+ */
+
+#ifndef NIFDY_TRAFFIC_COLLECTIVE_HH
+#define NIFDY_TRAFFIC_COLLECTIVE_HH
+
+#include <vector>
+
+#include "coll/coll.hh"
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct CollectiveParams
+{
+    /** Collective phases to run before done(). */
+    int phases = 9;
+    /** Rotate barrier -> bcast -> reduce per phase; off = all
+     * barriers (the bench_ext_coll latency configuration). */
+    bool rotateOps = true;
+    /** Tree fan-out for the software message tree (offload mode
+     * embeds its own via coll.arity). */
+    int arity = 4;
+    /** Data messages each node sends to a peer at the start of every
+     * phase (0 = pure collectives); each is dataMsgPackets long. */
+    int dataMsgs = 0;
+    /** Packets per data message; >= 2 so collective signals (always
+     * single-packet messages) stay distinguishable on receive. */
+    int dataMsgPackets = 3;
+};
+
+class CollectiveWorkload : public Workload
+{
+  public:
+    CollectiveWorkload(Processor &proc, MessageLayer &msg,
+                       Barrier &barrier, int numNodes,
+                       const CollectiveParams &params,
+                       std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override { return phase_ >= params_.phases; }
+
+    int phase() const { return phase_; }
+    /** Collectives this node completed (entered and released). */
+    std::uint64_t collectivesDone() const { return collectivesDone_; }
+    /** Completions that came back flagged degraded (offload mode). */
+    std::uint64_t degradedSeen() const { return degradedSeen_; }
+    /** Order-sensitive digest of (result, phase) pairs; equal across
+     * runs iff the released results were byte-identical. */
+    std::uint64_t checksum() const { return checksum_; }
+
+    /** The op phase @p phase runs. */
+    CollOp opFor(int phase) const;
+    /** This node's deterministic contribution for @p phase. */
+    std::int64_t valueFor(int phase) const;
+
+  protected:
+    void onReceive(const Packet &pkt, Cycle now) override;
+
+  private:
+    void tickOffload(Cycle now);
+    void tickSoftware(Cycle now);
+    void enterCollective(Cycle now);
+    bool queueDataBurst();
+    bool childrenSatisfied() const;
+    void queueReleases();
+    int recvFrom(NodeId n) const
+    {
+        return recvFrom_[static_cast<std::size_t>(n)];
+    }
+
+    CollectiveParams params_;
+    int numNodes_;
+
+    enum class State
+    {
+        send,        //!< data burst, then start the collective
+        wait,        //!< offload: spinning on the release
+        gather,      //!< software: awaiting children's contributions
+        releaseWait, //!< software: contribution sent, awaiting parent
+        releasePump  //!< software: draining queued releases
+    };
+    State state_ = State::send;
+    int phase_ = 0;
+    bool dataQueued_ = false;
+    bool entered_ = false;
+
+    /** Cumulative single-packet (collective) messages per source. */
+    std::vector<int> recvFrom_;
+
+    std::uint64_t collectivesDone_ = 0;
+    std::uint64_t degradedSeen_ = 0;
+    std::uint64_t checksum_ = 1469598103934665603ull; //!< FNV basis
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_COLLECTIVE_HH

@@ -30,6 +30,7 @@
 #include "sim/config.hh"
 #include "sim/fault.hh"
 #include "sim/report.hh"
+#include "traffic/collective.hh"
 #include "traffic/cshift.hh"
 #include "traffic/synthetic.hh"
 
@@ -279,6 +280,101 @@ TEST(ChaosSoak, CrashRestartLinkFaultMixAllTopologies)
         // touched are byte-identical to the fault-free run.
         expectMessagesIdentical(liveFlowsOnly(baseLog, *base),
                                 liveFlowsOnly(chaosLog, *chaos));
+    }
+}
+
+//===------------------------------------------------------------===//
+// The collective-heavy chaos point: offloaded collectives plus data
+// bursts under the full fault mix
+//===------------------------------------------------------------===//
+
+TEST(ChaosSoak, CollectiveHeavyMixSurvivesCrashesAndLoss)
+{
+    // Same fault cocktail as the main soak -- lossy NIC, 2% fabric
+    // drops, one permanent crash, two random crash/restart victims
+    // -- but the workload is collective-bound: every phase runs a
+    // NIC-offloaded barrier/bcast/reduce plus a data burst. Fabric
+    // drops DO hit collective packets, so this exercises the coll
+    // retransmission and recovery machinery under real loss; the run
+    // must still terminate with every survivor completing every
+    // phase and no collective state left open.
+    const std::string topos[] = {"fattree", "torus2d", "mesh3d"};
+    for (const std::string &topo : topos) {
+        SCOPED_TRACE(topo);
+        ExperimentConfig cfg = chaosCfg(topo, true);
+        // Collectives run much faster than the synthetic soak, so
+        // pull the crash schedule into the collective-bound window.
+        cfg.nodeFault.crashes.clear();
+        NodeFault permanent;
+        permanent.node = 2;
+        permanent.crashAt = 12000;
+        cfg.nodeFault.crashes.push_back(permanent);
+        cfg.nodeFault.randomCrashFrom = 16000;
+        cfg.nodeFault.randomCrashSpan = 20000;
+        cfg.nodeFault.randomRestartAfter = 4000;
+        cfg.coll.offload = true;
+        cfg.coll.timeout = 300;
+        cfg.coll.maxTimeout = 2400;
+        cfg.coll.maxRetries = 4;
+        cfg.coll.probeTimeout = 600;
+        cfg.coll.maxProbes = 3;
+
+        Experiment exp(cfg);
+        CollectiveParams cp;
+        cp.phases = 60;
+        cp.dataMsgs = 2;
+        for (NodeId n = 0; n < exp.numNodes(); ++n)
+            exp.setWorkload(n, std::make_unique<CollectiveWorkload>(
+                                   exp.proc(n), exp.msg(n),
+                                   exp.barrier(), exp.numNodes(), cp,
+                                   cfg.seed));
+
+        const Cycle budget = 6000000;
+        Cycle ran = exp.runUntilDone(budget);
+        if (!exp.allDone()) {
+            for (NodeId n = 0; n < exp.numNodes(); ++n) {
+                auto *w = dynamic_cast<CollectiveWorkload *>(
+                    exp.workload(n));
+                CollEngine *eng = exp.collEngine(n);
+                std::fprintf(
+                    stderr,
+                    "node %d crashed=%d done=%d phase=%d pending=%d "
+                    "excused=%d open=%d backlog=%d allSent=%d\n",
+                    n, int(exp.nodeCrashedEver(n)), int(w->done()),
+                    w->phase(), int(eng->localPending()),
+                    int(eng->excusedNode()), eng->openCollectives(),
+                    exp.msg(n).backlog(),
+                    int(exp.msg(n).allSent()));
+            }
+        }
+        ASSERT_TRUE(exp.allDone())
+            << "collective chaos soak wedged after " << ran;
+        EXPECT_LT(ran, budget);
+        EXPECT_EQ(exp.nodeCrashes(), 3u);
+        for (NodeId n = 0; n < exp.numNodes(); ++n) {
+            if (exp.nodeCrashedEver(n))
+                continue;
+            auto *w =
+                dynamic_cast<CollectiveWorkload *>(exp.workload(n));
+            ASSERT_NE(w, nullptr);
+            EXPECT_EQ(w->collectivesDone(), 60u) << "node " << n;
+        }
+
+        // Under 2% fabric drops the collective layer had to retry.
+        std::uint64_t retx = 0;
+        exp.runFor(80000); // drain recovery traffic
+        for (NodeId n = 0; n < exp.numNodes(); ++n) {
+            CollEngine *eng = exp.collEngine(n);
+            ASSERT_NE(eng, nullptr);
+            retx += eng->retransmissions();
+            EXPECT_EQ(eng->openCollectives(), 0) << "node " << n;
+            EXPECT_EQ(eng->entered(),
+                      eng->localCompleted() + eng->localAbandoned())
+                << "node " << n;
+        }
+        EXPECT_GT(retx, 0u);
+        expectNoStateAimedAtDeadNodes(exp);
+        exp.audit()->finish();
     }
 }
 

@@ -20,7 +20,9 @@ Checks, per file:
   - --complete: every chain either ends in a drop or runs the full
     send -> inject -> hop+ -> deliver lifecycle in that order
     (node.* chains are exempt: they narrate a node's crash/restart
-    history, not a packet lifecycle)
+    history, not a packet lifecycle; coll.* chains likewise narrate
+    a node's collective-engine history -- collective packets are
+    control-only and never traced as lifecycles)
   - --require-acks: every delivered chain also records nic.ack.issue
 
 Exit status 0 when every file passes, 1 otherwise.
@@ -140,8 +142,12 @@ def check_file(path, complete, require_acks, min_events):
         names = [ev["name"] for ev in chain]
         if complete:
             dropped = any(n.endswith(".drop") for n in names)
-            node_chain = all(n.startswith("node.") for n in names)
-            if not dropped and not node_chain:
+            # node.* chains narrate crash/restart history; coll.*
+            # chains narrate a node's collective-engine history.
+            # Neither is a packet lifecycle.
+            narrative = all(n.startswith(("node.", "coll."))
+                            for n in names)
+            if not dropped and not narrative:
                 pos = -1
                 for step in ORDERED_LIFECYCLE:
                     try:

@@ -199,6 +199,29 @@ def test_knob_documented_profile_negative():
     assert not vs
 
 
+def test_knob_documented_coll_positive():
+    # coll.* is a checked prefix like the fault/lossy/node families:
+    # an undocumented read anywhere in src/ is flagged.
+    vs = run_rule("knob-documented", {
+        "src/a.cc": 'long a = conf.getInt("coll.arity", 4);\n',
+        "src/harness/experiment.cc": "// help text without it\n",
+    })
+    assert rules_hit(vs) == {"knob-documented"}
+    assert any("coll.arity" in v.message for v in vs)
+
+
+def test_knob_documented_coll_negative():
+    vs = run_rule("knob-documented", {
+        "src/a.cc":
+            'long a = conf.getInt("coll.arity", 4);\n'
+            'bool o = conf.getBool("coll.offload");\n',
+        "src/harness/experiment.cc":
+            "//   coll.arity     combining-tree fan-out\n"
+            "//   coll.offload   NIC-resident collectives\n",
+    })
+    assert not vs
+
+
 # --- knob-in-design -----------------------------------------------------
 
 KNOB_TABLE = (
