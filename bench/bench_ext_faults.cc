@@ -18,6 +18,12 @@
  * and epoch-recovery shares grow with the drop probability while
  * conservation still holds exactly (audited; see
  * tools/analyze_latency.py --check-conservation).
+ *
+ * `--congestion` (or congestion.enabled=true) records the per-link
+ * stall map and flow-progress attribution per fault rate under
+ * "congestion.fault<N>.*"; its busy/idle/stalled tiling holds
+ * exactly even while the fabric drops packets (see
+ * tools/analyze_congestion.py --check-conservation).
  */
 
 #include "benchutil.hh"
@@ -90,6 +96,7 @@ main(int argc, char **argv)
         char tag[32];
         std::snprintf(tag, sizeof(tag), "fault%.0f", drop * 100);
         recordAnatomy(exp, args, tag);
+        recordCongestion(exp, args, tag);
         t.row({label, Table::num(static_cast<long>(words)),
                Table::num(double(words) / double(base), 3),
                Table::num(static_cast<long>(

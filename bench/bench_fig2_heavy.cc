@@ -18,6 +18,12 @@
  * report metrics; feed the `--json` report through
  * tools/analyze_latency.py for the blame breakdown, the
  * NIFDY-vs-plain delta, and the conservation check.
+ *
+ * `--congestion` (or congestion.enabled=true) likewise records one
+ * per-link stall map plus "congestion.<topo>.<nic>.*" report
+ * metrics per pair; feed the `--json` report through
+ * tools/analyze_congestion.py for the hotspot heatmap and its
+ * conservation check.
  */
 
 #include "benchutil.hh"
@@ -37,7 +43,8 @@ main(int argc, char **argv)
 
     SyntheticParams sp = SyntheticParams::heavy();
     bool anatomy = args.conf.getBool("anatomy.enabled", false);
-    BenchArgs *blame = anatomy ? &args : nullptr;
+    bool congestion = args.conf.getBool("congestion.enabled", false);
+    BenchArgs *blame = (anatomy || congestion) ? &args : nullptr;
     for (const std::string &topo : paperTopologies()) {
         std::uint64_t none = syntheticThroughput(
             topo, NicKind::none, sp, args.cycles, args.nodes,

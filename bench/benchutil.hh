@@ -47,14 +47,17 @@ struct BenchArgs
         : report(toolName(argc, argv))
     {
         conf.parseArgs(argc, argv);
-        // `--json PATH` is sugar for json=PATH and `--anatomy` for
-        // anatomy.enabled=true (leftover tokens are otherwise
+        // `--json PATH` is sugar for json=PATH, `--anatomy` for
+        // anatomy.enabled=true, and `--congestion` for
+        // congestion.enabled=true (leftover tokens are otherwise
         // ignored by the key=value parser).
         for (int i = 1; i < argc; ++i) {
             if (std::string(argv[i]) == "--json" && i + 1 < argc)
                 conf.set("json", std::string(argv[i + 1]));
             if (std::string(argv[i]) == "--anatomy")
                 conf.set("anatomy.enabled", "true");
+            if (std::string(argv[i]) == "--congestion")
+                conf.set("congestion.enabled", "true");
         }
         cycles = conf.getInt("cycles", static_cast<long>(defCycles));
         nodes = static_cast<int>(conf.getInt("nodes", defNodes));
@@ -152,6 +155,20 @@ applyTelemetry(ExperimentConfig &cfg, const Config &conf)
     cfg.anatomy.seed = static_cast<std::uint64_t>(conf.getInt(
         "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
     cfg.anatomy.validate();
+    cfg.congestion.enabled =
+        conf.getBool("congestion.enabled", cfg.congestion.enabled);
+    cfg.congestion.window = static_cast<Cycle>(conf.getInt(
+        "congestion.window",
+        static_cast<long>(cfg.congestion.window)));
+    cfg.congestion.onFrac =
+        conf.getDouble("congestion.onFrac", cfg.congestion.onFrac);
+    cfg.congestion.offFrac =
+        conf.getDouble("congestion.offFrac", cfg.congestion.offFrac);
+    cfg.congestion.aggressorShare = conf.getDouble(
+        "congestion.aggressorShare", cfg.congestion.aggressorShare);
+    cfg.congestion.victimSlowdown = conf.getDouble(
+        "congestion.victimSlowdown", cfg.congestion.victimSlowdown);
+    cfg.congestion.validate();
     cfg.profile.enabled =
         conf.getBool("profile.enabled", cfg.profile.enabled);
     cfg.profile.interval = static_cast<Cycle>(conf.getInt(
@@ -185,6 +202,47 @@ recordAnatomy(Experiment &exp, BenchArgs &args,
             prefix + "cycles." + stallCauseSlugs[c],
             an->totalCycles(static_cast<StallCause>(c)));
     args.emit(an->blameTable("latency blame: " + tag));
+}
+
+/**
+ * Record an experiment's congestion-observatory results (when
+ * enabled) into a bench report under "congestion.<tag>." metric
+ * names and "congestion[<tag>]: ..." table titles, and emit the
+ * link stall map. tools/analyze_congestion.py consumes both; the
+ * `--congestion` bench flag turns the observer on.
+ */
+inline void
+recordCongestion(Experiment &exp, BenchArgs &args,
+                 const std::string &tag)
+{
+    CongestionObserver *co = exp.congestion();
+    if (!co)
+        return;
+    co->finish(exp.kernel().now()); // idempotent episode close-out
+    const std::string prefix = "congestion." + tag + ".";
+    args.report.addMetric(prefix + "links",
+                          std::uint64_t(co->numLinks()));
+    args.report.addMetric(prefix + "cycles.observed",
+                          co->cyclesObserved());
+    args.report.addMetric(prefix + "windows", co->windowsClosed());
+    args.report.addMetric(prefix + "episodes", co->episodesOpened());
+    args.report.addMetric(prefix + "cycles.busy", co->totalBusy());
+    args.report.addMetric(prefix + "cycles.idle", co->totalIdle());
+    args.report.addMetric(prefix + "cycles.stalled",
+                          co->totalStalled());
+    args.report.addMetric(prefix + "flows",
+                          std::uint64_t(co->numFlows()));
+    args.report.addMetric(prefix + "aggressors",
+                          std::uint64_t(co->aggressorFlows()));
+    args.report.addMetric(prefix + "victims",
+                          std::uint64_t(co->victimFlows()));
+    args.report.addMetric(prefix + "slowdown.max",
+                          co->maxSlowdown());
+    const std::string tp = "congestion[" + tag + "]: ";
+    args.emit(co->linkTable(tp + "link stall map"));
+    args.report.addTable(
+        co->flowTable(tp + "flow progress, worst slowdown first"));
+    args.report.addTable(co->episodeTable(tp + "episodes"));
 }
 
 /**
@@ -254,24 +312,27 @@ makeSyntheticExperiment(const std::string &topology, NicKind kind,
 
 /**
  * Packets delivered by synthetic traffic in a fixed window. When
- * @p anatomyInto is given and the telemetry config enables the
- * latency anatomy, the run's blame breakdown is recorded into the
- * bench report under "anatomy.<anatomyTag>." names.
+ * @p blameInto is given, whichever attribution sinks the telemetry
+ * config enables (latency anatomy, congestion observatory) are
+ * recorded into the bench report under "anatomy.<blameTag>." /
+ * "congestion.<blameTag>." names.
  */
 inline std::uint64_t
 syntheticThroughput(const std::string &topology, NicKind kind,
                     const SyntheticParams &sp, Cycle cycles, int nodes,
                     std::uint64_t seed,
                     const Config *telemetry = nullptr,
-                    BenchArgs *anatomyInto = nullptr,
-                    const std::string &anatomyTag = "")
+                    BenchArgs *blameInto = nullptr,
+                    const std::string &blameTag = "")
 {
     auto exp = makeSyntheticExperiment(topology, kind, nodes, sp,
                                        seed, true, telemetry);
     exp->runFor(cycles);
     std::uint64_t delivered = exp->packetsDelivered();
-    if (anatomyInto)
-        recordAnatomy(*exp, *anatomyInto, anatomyTag);
+    if (blameInto) {
+        recordAnatomy(*exp, *blameInto, blameTag);
+        recordCongestion(*exp, *blameInto, blameTag);
+    }
     return delivered;
 }
 

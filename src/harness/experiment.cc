@@ -258,6 +258,19 @@ Experiment::Experiment(const ExperimentConfig &cfg) : cfg_(cfg)
                 makeAnatomyConservationChecker(anatomy_.get()));
     }
 
+    if (cfg_.congestion.enabled) {
+        cfg_.congestion.validate();
+        congestion_ = std::make_unique<CongestionObserver>(
+            cfg_.congestion, cfg_.numNodes);
+        congestion_->attach(*net_);
+        // Registered after every traffic-moving component so its
+        // per-cycle link-state tiling sees the cycle's final state.
+        kernel_.add(congestion_.get(), "congestion");
+        if (audit_)
+            audit_->add(
+                makeCongestionConservationChecker(congestion_.get()));
+    }
+
     if (!cfg_.trace.path.empty()) {
         if (!trace::compiledIn())
             warn("trace.path set but the trace hooks are compiled "
@@ -287,6 +300,8 @@ Experiment::~Experiment()
 {
     if (anatomy_)
         anatomy_->finish(kernel_.now());
+    if (congestion_)
+        congestion_->finish(kernel_.now());
     if (metrics_)
         metrics_->finish(kernel_.now());
     if (tracer_)
@@ -494,6 +509,25 @@ Experiment::wireMetrics()
                    [an](Cycle) { return double(an->packets()); });
         m.addGauge("anatomy.open", -1,
                    [an](Cycle) { return double(an->openRecords()); });
+    }
+
+    if (congestion_) {
+        CongestionObserver *co = congestion_.get();
+        m.addGauge("congestion.windows", -1, [co](Cycle) {
+            return double(co->windowsClosed());
+        });
+        m.addGauge("congestion.episodes.open", -1, [co](Cycle) {
+            return double(co->openEpisodes());
+        });
+        m.addGauge("congestion.episodes.total", -1, [co](Cycle) {
+            return double(co->episodesOpened());
+        });
+        m.addGauge("congestion.cycles.stalled", -1, [co](Cycle) {
+            return double(co->totalStalled());
+        });
+        m.addGauge("congestion.flows", -1, [co](Cycle) {
+            return double(co->numFlows());
+        });
     }
 
     m.addDistSource("nic.latency",
@@ -1016,6 +1050,45 @@ Experiment::fillReport(RunReport &rep) const
         rep.addTable(anatomy_->nodeTable("latency blame by node"));
     }
 
+    if (congestion_) {
+        // Close the books first (idempotent): open episodes get
+        // their flows harvested and classified, so the report sees
+        // final victim/aggressor verdicts. Reports are terminal --
+        // nothing records after fillReport().
+        congestion_->finish(kernel_.now());
+        CongestionObserver &co = *congestion_;
+        rep.addMetric("congestion.links", std::uint64_t(co.numLinks()));
+        rep.addMetric("congestion.cycles.observed",
+                      co.cyclesObserved());
+        rep.addMetric("congestion.windows", co.windowsClosed());
+        rep.addMetric("congestion.episodes", co.episodesOpened());
+        rep.addMetric("congestion.cycles.busy", co.totalBusy());
+        rep.addMetric("congestion.cycles.idle", co.totalIdle());
+        rep.addMetric("congestion.cycles.stalled", co.totalStalled());
+        rep.addMetric("congestion.flows",
+                      std::uint64_t(co.numFlows()));
+        rep.addMetric("congestion.aggressors",
+                      std::uint64_t(co.aggressorFlows()));
+        rep.addMetric("congestion.victims",
+                      std::uint64_t(co.victimFlows()));
+        rep.addMetric("congestion.slowdown.max", co.maxSlowdown());
+        const int hot = co.hottestLink();
+        if (hot >= 0) {
+            const CongestionObserver::LinkStats &l = co.link(hot);
+            const std::uint64_t sum = l.busy + l.idle + l.stalled;
+            rep.addMetric("congestion.hotlink.stallfrac",
+                          sum ? double(l.stalled) / double(sum) : 0);
+            rep.addNote("congestion hottest link: " +
+                        co.linkLabel(hot));
+        }
+        rep.addTable(co.linkTable("congestion: link stall map (" +
+                                  net_->name() + " / " +
+                                  nicKindName(cfg_.nicKind) + ")"));
+        rep.addTable(co.flowTable("congestion: flow progress, worst "
+                                  "slowdown first"));
+        rep.addTable(co.episodeTable("congestion: episodes"));
+    }
+
     if (profiler_) {
         const Profiler &p = *profiler_;
         // Deterministic step/idle counters: pure functions of the
@@ -1176,6 +1249,21 @@ experimentFromConfig(const Config &conf)
         "anatomy.seed", static_cast<long>(cfg.anatomy.seed)));
     cfg.anatomy.validate();
 
+    cfg.congestion.enabled =
+        conf.getBool("congestion.enabled", cfg.congestion.enabled);
+    cfg.congestion.window = static_cast<Cycle>(conf.getInt(
+        "congestion.window",
+        static_cast<long>(cfg.congestion.window)));
+    cfg.congestion.onFrac = conf.getDouble(
+        "congestion.onFrac", cfg.congestion.onFrac);
+    cfg.congestion.offFrac = conf.getDouble(
+        "congestion.offFrac", cfg.congestion.offFrac);
+    cfg.congestion.aggressorShare = conf.getDouble(
+        "congestion.aggressorShare", cfg.congestion.aggressorShare);
+    cfg.congestion.victimSlowdown = conf.getDouble(
+        "congestion.victimSlowdown", cfg.congestion.victimSlowdown);
+    cfg.congestion.validate();
+
     cfg.profile.enabled =
         conf.getBool("profile.enabled", cfg.profile.enabled);
     cfg.profile.interval = static_cast<Cycle>(conf.getInt(
@@ -1298,6 +1386,19 @@ const KnobDoc knobDocs[] = {
      "fraction of packet lifecycles attributed, [0, 1]"},
     {"anatomy.seed", "0",
      "anatomy sampling hash seed (0 = experiment seed)"},
+    {"congestion.enabled", "false",
+     "congestion observatory: per-link stall maps, per-flow "
+     "progress, victim/aggressor episodes"},
+    {"congestion.window", "1024",
+     "congestion accounting window length in cycles"},
+    {"congestion.onFrac", "0.5",
+     "episode opens at window stall fraction >= onFrac"},
+    {"congestion.offFrac", "0.25",
+     "episode closes at window stall fraction < offFrac"},
+    {"congestion.aggressorShare", "0.25",
+     "aggressor threshold: share of an episode's flits"},
+    {"congestion.victimSlowdown", "2",
+     "victim threshold: mean latency over isolation baseline"},
     {"profile.enabled", "false",
      "host-cost profiler: per-component host-time and idle-work "
      "attribution"},
@@ -1421,6 +1522,19 @@ experimentCliHelp()
           "attributed [0, 1]\n"
           "  anatomy.seed=N         anatomy sampling hash seed (0 = "
           "experiment seed)\n"
+          "  congestion.enabled=BOOL per-link stall maps, per-flow "
+          "progress, and\n"
+          "                         victim/aggressor episodes\n"
+          "  congestion.window=N    congestion accounting window, "
+          "cycles\n"
+          "  congestion.onFrac=P    episode opens at stall fraction "
+          ">= P\n"
+          "  congestion.offFrac=P   episode closes at stall fraction "
+          "< P\n"
+          "  congestion.aggressorShare=P aggressor threshold, share "
+          "of episode flits\n"
+          "  congestion.victimSlowdown=F victim threshold, mean over "
+          "baseline latency\n"
           "  profile.enabled=BOOL   host-cost profiler: "
           "per-component host-time\n"
           "                         and idle-work attribution\n"

@@ -22,6 +22,7 @@
 #include "nic/retransmit.hh"
 #include "proc/workload.hh"
 #include "sim/anatomy.hh"
+#include "sim/congestion.hh"
 #include "sim/fault.hh"
 #include "sim/metrics.hh"
 #include "sim/profile.hh"
@@ -91,6 +92,10 @@ struct ExperimentConfig
     /** Latency anatomy: per-packet stall-cause attribution
      * (anatomy.* knobs; off by default and then cost-free). */
     AnatomyConfig anatomy;
+    /** Congestion observatory: per-link stall maps, per-flow
+     * progress, victim/aggressor episodes (congestion.* knobs; off
+     * by default and then cost-free). */
+    CongestionConfig congestion;
     /** Host-cost profiler: per-component host-time and idle-work
      * attribution (profile.* knobs; off by default and then one
      * pointer test per cycle). */
@@ -160,6 +165,9 @@ class Experiment
 
     /** The latency-anatomy sink (nullptr when disabled). */
     Anatomy *anatomy() { return anatomy_.get(); }
+
+    /** The congestion observatory (nullptr when disabled). */
+    CongestionObserver *congestion() { return congestion_.get(); }
 
     /** The host-cost profiler (nullptr when disabled). */
     Profiler *profiler() { return profiler_.get(); }
@@ -267,6 +275,10 @@ class Experiment
      * (below) detaches. The anatomy sink precedes the tracer: its
      * final transitions render into the trace buffer. */
     std::unique_ptr<Anatomy> anatomy_;
+    /** Congestion observatory; like the anatomy sink, its finish()
+     * (episode close-out) renders into the trace buffer, so it too
+     * precedes the tracer. */
+    std::unique_ptr<CongestionObserver> congestion_;
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<Metrics> metrics_;
     /** Last member: destroyed first, so teardown releases in the

@@ -79,6 +79,20 @@ class Channel
     int inFlight() const { return static_cast<int>(flits_.size()); }
 
     /**
+     * Is any serializer slot occupied at cycle @p now? A flit pushed
+     * at cycle t holds its slot through t + cyclesPerFlit - 1, so
+     * this is true for exactly the cycles the link is transmitting
+     * (the congestion observatory's "busy" state).
+     */
+    bool busyAt(Cycle now) const
+    {
+        for (Cycle f : nextFree_)
+            if (f > now)
+                return true;
+        return false;
+    }
+
+    /**
      * Credit-discipline bound on in-flight flits: the consumer's
      * total buffer capacity (VCs x depth). Set by whoever attaches
      * the consumer; 0 means unknown/unbounded. push() panics when

@@ -2,6 +2,7 @@
 
 #include "sim/anatomy.hh"
 #include "sim/audit.hh"
+#include "sim/congestion.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -231,12 +232,16 @@ Router::switchPass(Cycle now)
             VirtChan &vc = ins_[p].vcs[v];
             if (vc.buf.empty())
                 continue;
-            if (out.credits[vc.outVC] <= 0)
+            if (out.credits[vc.outVC] <= 0) {
+                congestion::onLinkStall(out.ch, now);
                 continue;
+            }
             Flit &front = vc.buf.front();
             NetClass cls = front.pkt->netClass;
-            if (!out.ch->canPush(cls, now))
+            if (!out.ch->canPush(cls, now)) {
+                congestion::onLinkStall(out.ch, now);
                 continue;
+            }
             if (params_.storeAndForward && front.head) {
                 // The whole packet must be buffered before the head
                 // may leave.
@@ -247,8 +252,10 @@ Router::switchPass(Cycle now)
                         break;
                     }
                 }
-                if (!tailHere)
+                if (!tailHere) {
+                    congestion::onLinkStall(out.ch, now);
                     continue;
+                }
             }
 
             Flit f = front;

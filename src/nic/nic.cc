@@ -3,6 +3,7 @@
 #include "coll/coll.hh"
 #include "sim/anatomy.hh"
 #include "sim/audit.hh"
+#include "sim/congestion.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -211,6 +212,7 @@ Nic::pushArrival(Packet *pkt, Cycle now)
     audit::onDeliver(*pkt, node_);
     trace::onDeliver(*pkt, node_, now);
     anatomy::onDeliver(*pkt, now);
+    congestion::onDeliver(*pkt, now);
     ++packetsDelivered_;
     wordsDelivered_ += pkt->payloadWords;
     latency_.sample(now - pkt->createdAt);
@@ -226,11 +228,20 @@ Nic::pumpInject(Cycle now)
     for (int k = 0; k < numNetClasses; ++k) {
         int cls = (injectRR_ + k) % numNetClasses;
         NetClass nc = static_cast<NetClass>(cls);
-        if (!ch->canPush(nc, now))
+        if (!ch->canPush(nc, now)) {
+            // Only a mid-wormhole packet is demonstrably blocked on
+            // the link; an empty stream may simply have nothing to
+            // send this cycle.
+            if (outStream_[cls].pkt)
+                congestion::onLinkStall(ch, now);
             continue;
+        }
         int vc = cls * params_.vcsPerClass;
-        if (injectCredits_[vc] <= 0)
+        if (injectCredits_[vc] <= 0) {
+            if (outStream_[cls].pkt)
+                congestion::onLinkStall(ch, now);
             continue;
+        }
         OutStream &os = outStream_[cls];
         if (!os.pkt) {
             if (!crashed_) {
@@ -260,6 +271,7 @@ Nic::pumpInject(Cycle now)
             audit::onInject(*os.pkt, node_);
             trace::onInject(*os.pkt, node_, now);
             anatomy::onInject(*os.pkt, now);
+            congestion::onInject(*os.pkt, now);
             if (os.pkt->type != PacketType::ack &&
                 !os.pkt->ctrlOnly) {
                 ++packetsSent_;

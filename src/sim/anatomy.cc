@@ -46,6 +46,7 @@ constexpr const char *sliceNames[numStallCauses] = {
     "anatomy.stall.arb",    "anatomy.stall.wire",
     "anatomy.stall.retx",   "anatomy.stall.epoch",
     "anatomy.stall.reorder", "anatomy.stall.swrecv",
+    "anatomy.stall.coll",
 };
 
 constexpr const char *counterNames[numStallCauses] = {
@@ -55,6 +56,7 @@ constexpr const char *counterNames[numStallCauses] = {
     "anatomy.live.arb",    "anatomy.live.wire",
     "anatomy.live.retx",   "anatomy.live.epoch",
     "anatomy.live.reorder", "anatomy.live.swrecv",
+    "anatomy.live.coll",
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "sim/trace.hh"
 
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <map>
@@ -221,7 +222,15 @@ Tracer::close()
         JsonWriter w;
         w.beginObject();
         w.field("name", e.name);
-        w.field("cat", phase == 'C' ? "anatomy" : "packet");
+        // Counter tracks are categorized by their owning subsystem
+        // (the name prefix); slices stay "packet" so they nest under
+        // the lifecycle chains sharing their async id.
+        const bool congCounter =
+            phase == 'C' &&
+            std::strncmp(e.name, "congestion.", 11) == 0;
+        w.field("cat", phase == 'C'
+                           ? (congCounter ? "congestion" : "anatomy")
+                           : "packet");
         w.field("ph", std::string_view(&phase, 1));
         w.field("id", e.id);
         w.field("pid", 0);

@@ -1,0 +1,88 @@
+#include "traffic/incast.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace nifdy
+{
+
+IncastWorkload::IncastWorkload(Processor &proc, MessageLayer &msg,
+                               Barrier &barrier, int numNodes,
+                               const IncastParams &params,
+                               std::uint64_t seed)
+    : Workload(proc, msg, &barrier, seed), params_(params)
+{
+    panic_if(numNodes < 2, "incast traffic needs >= 2 nodes");
+    panic_if(params_.receiver < 0 || params_.receiver >= numNodes,
+             "incast receiver %d outside [0, %d)", params_.receiver,
+             numNodes);
+    panic_if(params_.packetsPerPhaseLo < 1 ||
+                 params_.packetsPerPhaseHi < params_.packetsPerPhaseLo,
+             "incast packetsPerPhase range [%d, %d] is empty",
+             params_.packetsPerPhaseLo, params_.packetsPerPhaseHi);
+    for (const auto &lw : params_.lengthDist)
+        totalWeight_ += lw.second;
+    panic_if(totalWeight_ <= 0, "empty length distribution");
+    startPhase();
+}
+
+void
+IncastWorkload::startPhase()
+{
+    ++phase_;
+    state_ = State::sending;
+    packetsLeft_ =
+        sender() ? static_cast<int>(
+                       rng_.range(params_.packetsPerPhaseLo,
+                                  params_.packetsPerPhaseHi))
+                 : 0;
+}
+
+int
+IncastWorkload::drawLength()
+{
+    int pick = static_cast<int>(rng_.nextBounded(totalWeight_));
+    for (const auto &lw : params_.lengthDist) {
+        pick -= lw.second;
+        if (pick < 0)
+            return lw.first;
+    }
+    return params_.lengthDist.back().first;
+}
+
+void
+IncastWorkload::tick(Cycle now)
+{
+    // Drain arrivals before anything else: the receiver's poll rate
+    // is the incast bottleneck's release valve.
+    if (receiveOne(now))
+        return;
+
+    if (state_ == State::sending) {
+        if (packetsLeft_ == 0 && msg_.allSent()) {
+            barrier_->arrive(me(), now);
+            state_ = State::atBarrier;
+            return;
+        }
+        if (msg_.backlog() == 0 && packetsLeft_ > 0) {
+            int len = std::min(drawLength(), packetsLeft_);
+            packetsLeft_ -= len;
+            msg_.enqueuePackets(params_.receiver, len, params_.cls);
+        }
+        if (msg_.pump(now))
+            return;
+        // Blocked on the NIC: poll so receiving still progresses.
+        pollNetwork(now);
+        return;
+    }
+
+    // Waiting at the barrier: keep polling.
+    if (barrier_->released(me(), now)) {
+        startPhase();
+        return;
+    }
+    pollNetwork(now);
+}
+
+} // namespace nifdy

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Incast: the canonical adversarial pattern for the congestion
+ * observatory (sim/congestion.hh). Every node except one is a
+ * sender, and every message targets the single receiver, so the
+ * receiver's ejection path becomes a sustained many-to-one hot spot
+ * -- the scenario where victim/aggressor attribution and the
+ * hysteresis episode detector have something to say.
+ *
+ * Structure mirrors the Section 4.1 synthetic benchmark: senders
+ * push a per-phase burst of messages in barrier-separated phases,
+ * with lengths drawn from a weighted distribution on a dedicated
+ * RNG so the offered load is identical regardless of NIC and
+ * network configuration. The receiver sends nothing; it polls the
+ * network and meets the senders at each barrier.
+ */
+
+#ifndef NIFDY_TRAFFIC_INCAST_HH
+#define NIFDY_TRAFFIC_INCAST_HH
+
+#include <vector>
+
+#include "proc/workload.hh"
+
+namespace nifdy
+{
+
+struct IncastParams
+{
+    /** The single hot destination all senders target. */
+    NodeId receiver = 0;
+    /** Packets a sender pushes per phase, drawn uniformly. */
+    int packetsPerPhaseLo = 100;
+    int packetsPerPhaseHi = 300;
+    /** Message length distribution: (packets, weight) pairs. */
+    std::vector<std::pair<int, int>> lengthDist{
+        {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+    NetClass cls = NetClass::request;
+};
+
+class IncastWorkload : public Workload
+{
+  public:
+    IncastWorkload(Processor &proc, MessageLayer &msg,
+                   Barrier &barrier, int numNodes,
+                   const IncastParams &params, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    bool done() const override { return false; } //!< runs forever
+
+    int phase() const { return phase_; }
+    bool sender() const { return me() != params_.receiver; }
+
+  private:
+    void startPhase();
+    int drawLength();
+
+    IncastParams params_;
+    int totalWeight_ = 0;
+
+    enum class State
+    {
+        sending,
+        atBarrier
+    };
+    State state_ = State::sending;
+    int phase_ = 0;
+    int packetsLeft_ = 0;
+};
+
+} // namespace nifdy
+
+#endif // NIFDY_TRAFFIC_INCAST_HH

@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Hotspot and victim/aggressor analyzer for congestion reports.
+
+Consumes the nifdy-report-1 JSON written by `run_experiment --json`
+or any bench's `--json` flag when the congestion observatory is on
+(`--congestion` / congestion.enabled=true), and renders the per-link
+stall map, the topology-aware hotspot heatmap, and the ranked
+victim/aggressor attribution recorded under the "congestion.*"
+metric names and tables (see DESIGN.md section 14).
+
+A report carries one congestion *group* per observed run: the
+harness writes bare `congestion.*` metrics and `congestion: ...`
+tables, the benches one `congestion.<tag>.*` set plus
+`congestion[<tag>]: ...` tables per configuration.
+
+Usage:
+  analyze_congestion.py report.json              hotspot heatmap +
+                                                 victim/aggressor
+                                                 report + episode
+                                                 summary per group
+  analyze_congestion.py report.json --compare A B
+                                                 congestion shift
+                                                 between two groups
+                                                 (e.g. incast.none vs
+                                                 incast.nifdy)
+  analyze_congestion.py report.json --check-conservation
+                                                 verify that every
+                                                 link's busy + idle +
+                                                 stalled cycles sum
+                                                 EXACTLY to the cycles
+                                                 observed, per link
+                                                 and per group (CI
+                                                 gate; exit 1 on any
+                                                 leak or if no
+                                                 congestion data is
+                                                 present)
+
+Exit status: 0 clean, 1 on conservation failure, missing congestion
+data, or unknown group tags.
+"""
+
+import argparse
+import re
+import sys
+
+from reportlib import cell_float, cell_int, load_report
+
+GROUP_RE = re.compile(r"^congestion\.(?:(?P<tag>.+)\.)?cycles\.observed$")
+
+# Link labels are "<class><index>"; the class tells us where in the
+# topology the hot spot lives (NIC injection port, ejection port, or
+# fabric-internal channel).
+LINK_CLASS_RE = re.compile(r"^(?P<cls>[a-z]+?)(?P<idx>\d+)$")
+
+TABLE_KINDS = ("link stall map", "flow progress", "episodes")
+
+HEAT_WIDTH = 24  # characters in the heatmap bar
+
+
+class Group:
+    """One observed run: aggregate counters + the three tables."""
+
+    def __init__(self, tag, prefix, doc):
+        metrics = doc.get("metrics", {})
+        self.tag = tag or "(run)"
+        self.links = int(metrics.get(prefix + "links", 0))
+        self.observed = int(metrics[prefix + "cycles.observed"])
+        self.windows = int(metrics.get(prefix + "windows", 0))
+        self.episodes = int(metrics.get(prefix + "episodes", 0))
+        self.busy = int(metrics.get(prefix + "cycles.busy", -1))
+        self.idle = int(metrics.get(prefix + "cycles.idle", -1))
+        self.stalled = int(metrics.get(prefix + "cycles.stalled", -1))
+        self.flows = int(metrics.get(prefix + "flows", 0))
+        self.aggressors = int(metrics.get(prefix + "aggressors", 0))
+        self.victims = int(metrics.get(prefix + "victims", 0))
+        self.slowdown_max = float(
+            metrics.get(prefix + "slowdown.max", 0.0))
+        table_prefix = (f"congestion[{tag}]: " if tag
+                        else "congestion: ")
+        self.tables = {}
+        for table in doc.get("tables", []):
+            title = table.get("title", "")
+            if not title.startswith(table_prefix):
+                continue
+            rest = title[len(table_prefix):]
+            for kind in TABLE_KINDS:
+                if rest.startswith(kind):
+                    cols = table["columns"]
+                    self.tables[kind] = [
+                        dict(zip(cols, raw)) for raw in table["rows"]]
+        self.link_rows = self.tables.get("link stall map", [])
+        self.flow_rows = self.tables.get("flow progress", [])
+        self.episode_rows = self.tables.get("episodes", [])
+
+    def stall_share(self):
+        total = self.busy + self.idle + self.stalled
+        return self.stalled / total if total > 0 else 0.0
+
+    def conservation_errors(self):
+        """Aggregate and per-link tiling checks.
+
+        Every link is observed for exactly `cycles.observed` cycles
+        and each cycle lands in exactly one of busy/idle/stalled, so
+        the three totals must tile links x observed, and each link
+        row must tile observed on its own.
+        """
+        errs = []
+        for name, v in (("cycles.busy", self.busy),
+                        ("cycles.idle", self.idle),
+                        ("cycles.stalled", self.stalled)):
+            if v < 0:
+                errs.append(f"{name} metric missing")
+        if any(v < 0 for v in (self.busy, self.idle, self.stalled)):
+            return errs
+        expect = self.links * self.observed
+        got = self.busy + self.idle + self.stalled
+        if got != expect:
+            errs.append(
+                f"busy+idle+stalled {got} != links x observed "
+                f"{expect} (leak {got - expect})")
+        for row in self.link_rows:
+            got = (cell_int(row["busy"]) + cell_int(row["idle"]) +
+                   cell_int(row["stalled"]))
+            if got != self.observed:
+                errs.append(
+                    f"link {row['link']}: busy+idle+stalled {got} "
+                    f"!= cycles.observed {self.observed} "
+                    f"(leak {got - self.observed})")
+        return errs
+
+
+def find_groups(doc):
+    metrics = doc.get("metrics", {})
+    groups = {}
+    for key in sorted(metrics):
+        m = GROUP_RE.match(key)
+        if not m:
+            continue
+        tag = m.group("tag")
+        prefix = "congestion." + (tag + "." if tag else "")
+        g = Group(tag, prefix, doc)
+        groups[g.tag] = g
+    return groups
+
+
+def link_class(label):
+    m = LINK_CLASS_RE.match(label)
+    return m.group("cls") if m else label
+
+
+def heat_bar(frac):
+    n = round(frac * HEAT_WIDTH)
+    return "#" * n + "." * (HEAT_WIDTH - n)
+
+
+def print_heatmap(g, top):
+    """Ranked per-link heatmap + per-link-class hotspot rollup."""
+    print(f"== {g.tag}: hotspot heatmap "
+          f"({g.links} links, {g.observed:,} cycles observed, "
+          f"{g.windows:,} windows) ==")
+    if not g.link_rows:
+        print("  (no link carried or refused traffic)")
+        print()
+        return
+    ranked = sorted(g.link_rows,
+                    key=lambda r: -cell_float(r["stall%"]))
+    for row in ranked[:top]:
+        frac = cell_float(row["stall%"]) / 100.0
+        print(f"  {row['link']:<12} {heat_bar(frac)} "
+              f"{cell_float(row['stall%']):5.1f}% stalled  "
+              f"(busy {row['busy']}, hiwater {row['hiwater']}, "
+              f"{row['episodes']} episodes)")
+    if len(ranked) > top:
+        print(f"  ... {len(ranked) - top} more links")
+    by_cls = {}
+    for row in g.link_rows:
+        cls = link_class(row["link"])
+        busy, idle, stalled = (cell_int(row["busy"]),
+                               cell_int(row["idle"]),
+                               cell_int(row["stalled"]))
+        acc = by_cls.setdefault(cls, [0, 0, 0, 0])
+        acc[0] += busy
+        acc[1] += idle
+        acc[2] += stalled
+        acc[3] += 1
+    print("  by link class:")
+    for cls in sorted(by_cls):
+        busy, idle, stalled, n = by_cls[cls]
+        total = busy + idle + stalled
+        frac = stalled / total if total else 0.0
+        print(f"    {cls:<10} {n:>4} links  {heat_bar(frac)} "
+              f"{100.0 * frac:5.1f}% stalled")
+    print()
+
+
+def print_attribution(g, top):
+    """Ranked aggressors (by episodes implicated, then traffic) and
+    victims (by slowdown vs their own isolation baseline)."""
+    print(f"== {g.tag}: victim/aggressor attribution "
+          f"({g.flows} flows, {g.episodes} episodes, "
+          f"{g.aggressors} aggressors, {g.victims} victims) ==")
+    if not g.flow_rows:
+        print("  (no flows observed)")
+        print()
+        return
+    have_eps = "agg ep" in g.flow_rows[0]
+    if not have_eps:
+        print("  (flow table lacks episode columns; re-run with a "
+              "current build)")
+    aggressors = [r for r in g.flow_rows
+                  if have_eps and cell_int(r["agg ep"]) > 0]
+    aggressors.sort(key=lambda r: (-cell_int(r["agg ep"]),
+                                   -cell_int(r["flits"])))
+    victims = [r for r in g.flow_rows
+               if have_eps and cell_int(r["vic ep"]) > 0]
+    victims.sort(key=lambda r: -cell_float(r["slowdown"]))
+    for title, rows in (("aggressors", aggressors),
+                        ("victims", victims)):
+        print(f"  {title}:")
+        if not rows:
+            print("    (none)")
+            continue
+        for row in rows[:top]:
+            print(f"    {row['src']:>4} > {row['dst']:<4} "
+                  f"{row['flits']:>12} flits  "
+                  f"slowdown {cell_float(row['slowdown']):6.2f}x  "
+                  f"({row['agg ep']} aggressor / "
+                  f"{row['vic ep']} victim episodes)")
+        if len(rows) > top:
+            print(f"    ... {len(rows) - top} more")
+    if g.slowdown_max > 0:
+        print(f"  worst slowdown vs isolation baseline: "
+              f"{g.slowdown_max:.2f}x")
+    print()
+
+
+def print_episodes(g, top):
+    if not g.episode_rows:
+        return
+    print(f"== {g.tag}: episodes ==")
+    ranked = sorted(g.episode_rows,
+                    key=lambda r: -cell_int(r["flits"]))
+    for row in ranked[:top]:
+        print(f"  {row['link']:<12} open {row['open']:>12} "
+              f"close {row['close']:>12} {row['windows']:>4} windows "
+              f"peak {row['peak%']:>6}  aggressors {row['aggressors']}"
+              f"  victims {row['victims']}")
+    if len(ranked) > top:
+        print(f"  ... {len(ranked) - top} more episodes")
+    print()
+
+
+def print_compare(a, b):
+    """Congestion shift from group a to group b."""
+    print(f"== congestion shift: {a.tag} -> {b.tag} ==")
+    sa, sb = a.stall_share(), b.stall_share()
+    print(f"  {'stalled link-cycles':<24} {100 * sa:10.1f}% "
+          f"{100 * sb:10.1f}% {100 * (sb - sa):+8.1f}%")
+    for name, va, vb in (("episodes", a.episodes, b.episodes),
+                         ("aggressor flows", a.aggressors,
+                          b.aggressors),
+                         ("victim flows", a.victims, b.victims)):
+        print(f"  {name:<24} {va:>10} {vb:>10} {vb - va:+8}")
+    print(f"  {'worst slowdown':<24} {a.slowdown_max:9.2f}x "
+          f"{b.slowdown_max:9.2f}x {b.slowdown_max - a.slowdown_max:+8.2f}")
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="congestion hotspot / victim-aggressor analyzer "
+                    "(nifdy-report-1 JSON)")
+    ap.add_argument("report", help="report JSON path, or - for stdin")
+    ap.add_argument("--check-conservation", action="store_true",
+                    help="verify busy+idle+stalled tiles the cycles "
+                         "observed, per link and per group")
+    ap.add_argument("--compare", nargs=2, metavar=("TAG_A", "TAG_B"),
+                    help="congestion shift between two groups")
+    ap.add_argument("--top", type=int, default=8,
+                    help="rows per ranked section (default 8)")
+    args = ap.parse_args()
+
+    doc = load_report(args.report)
+    groups = find_groups(doc)
+    if not groups:
+        print("error: no congestion metrics in report (run with "
+              "--congestion / congestion.enabled=true)",
+              file=sys.stderr)
+        return 1
+
+    if args.check_conservation:
+        failures = 0
+        link_cycles = 0
+        for tag, g in groups.items():
+            link_cycles += g.links * g.observed
+            for err in g.conservation_errors():
+                print(f"CONSERVATION VIOLATION [{tag}]: {err}",
+                      file=sys.stderr)
+                failures += 1
+        if failures:
+            return 1
+        print(f"conservation OK: {len(groups)} group(s), "
+              f"{link_cycles:,} link-cycles, every cycle exactly "
+              f"one of busy/idle/stalled")
+        return 0
+
+    if args.compare:
+        missing = [t for t in args.compare if t not in groups]
+        if missing:
+            print("error: no such group(s): " + ", ".join(missing)
+                  + "; available: " + ", ".join(sorted(groups)),
+                  file=sys.stderr)
+            return 1
+        print_compare(groups[args.compare[0]], groups[args.compare[1]])
+        return 0
+
+    for tag in sorted(groups):
+        g = groups[tag]
+        print_heatmap(g, args.top)
+        print_attribution(g, args.top)
+        print_episodes(g, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,9 +37,10 @@ data, or unknown group tags.
 """
 
 import argparse
-import json
 import re
 import sys
+
+from reportlib import load_report
 
 # Mirrors stallCauseSlugs / stallCauseLabels in src/sim/anatomy.hh
 # (tools/lint.py keeps the enum and DESIGN.md in sync; this table is
@@ -57,6 +58,7 @@ CAUSES = [
     ("epoch", "epoch recovery"),
     ("reorder", "reorder wait"),
     ("swrecv", "receive poll"),
+    ("coll", "collective defer"),
 ]
 
 GROUP_RE = re.compile(r"^anatomy\.(?:(?P<tag>.+)\.)?cycles\.total$")
@@ -102,14 +104,6 @@ class Group:
         if missing:
             errs.append("per-cause metrics missing: " + ", ".join(missing))
         return errs
-
-
-def load_report(path):
-    with (sys.stdin if path == "-" else open(path)) as f:
-        report = json.load(f)
-    if report.get("schema") != "nifdy-report-1":
-        sys.exit(f"error: {path}: not a nifdy-report-1 document")
-    return report
 
 
 def find_groups(report):

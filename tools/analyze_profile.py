@@ -40,9 +40,10 @@ unknown group tags.
 """
 
 import argparse
-import json
 import re
 import sys
+
+from reportlib import load_report
 
 # Mirrors profPhaseSlugs in src/sim/profile.hh.
 PHASES = ["audit", "metrics", "trace", "self"]
@@ -53,15 +54,6 @@ CLASS_RE = re.compile(
 STEPS_RE = re.compile(
     r"^profile\.(?:(?P<tag>.+)\.)?steps\.(?P<cls>[a-z-]+)$")
 BENCH_RE = re.compile(r"^kernel\.(?P<tag>[a-z0-9]+)\.cycles$")
-
-
-def load_report(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "nifdy-report-1":
-        sys.exit(f"{path}: not a nifdy-report-1 document "
-                 f"(schema={doc.get('schema')!r})")
-    return doc
 
 
 class Group:

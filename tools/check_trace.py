@@ -17,12 +17,18 @@ Checks, per file:
     b/e pairs stamped at segment boundaries in the past relative to
     the lifecycle chain sharing their async id, and counters use
     ph "C", so both are exempt from chain framing and monotonicity
+  - "congestion."-prefixed events (congestion-observatory episode
+    slices and counter tracks) are validated for shape the same way:
+    episode slices are explicit b/e pairs stamped retroactively at
+    window boundaries, counters use ph "C" with cat "congestion",
+    and both are exempt from chain framing and monotonicity
   - --complete: every chain either ends in a drop or runs the full
     send -> inject -> hop+ -> deliver lifecycle in that order
     (node.* chains are exempt: they narrate a node's crash/restart
     history, not a packet lifecycle; coll.* chains likewise narrate
     a node's collective-engine history -- collective packets are
-    control-only and never traced as lifecycles)
+    control-only and never traced as lifecycles; congestion.* chains
+    narrate a link's episode history)
   - --require-acks: every delivered chain also records nic.ack.issue
 
 Exit status 0 when every file passes, 1 otherwise.
@@ -107,6 +113,21 @@ def check_file(path, complete, require_acks, min_events):
                      f"{path}: event {i} category is not "
                      f"'{want_cat}'")
             continue
+        if name.startswith("congestion."):
+            # Congestion-observatory overlays: episode b/e slices
+            # stamped retroactively at window boundaries, and "C"
+            # counter tracks. Shape-checked only, like anatomy.
+            if ev.get("ph") not in ("b", "e", "C"):
+                fail(errors,
+                     f"{path}: event {i} congestion phase "
+                     f"{ev.get('ph')!r}, want b/e slice or C counter")
+            want_cat = ("congestion" if ev.get("ph") == "C"
+                        else "packet")
+            if ev.get("cat") != want_cat:
+                fail(errors,
+                     f"{path}: event {i} category is not "
+                     f"'{want_cat}'")
+            continue
         if ev.get("ph") not in ("b", "n", "e"):
             fail(errors,
                  f"{path}: event {i} has phase {ev.get('ph')!r}, "
@@ -143,10 +164,12 @@ def check_file(path, complete, require_acks, min_events):
         if complete:
             dropped = any(n.endswith(".drop") for n in names)
             # node.* chains narrate crash/restart history; coll.*
-            # chains narrate a node's collective-engine history.
-            # Neither is a packet lifecycle.
-            narrative = all(n.startswith(("node.", "coll."))
-                            for n in names)
+            # chains a node's collective-engine history;
+            # congestion.* chains a link's episode history. None of
+            # these is a packet lifecycle.
+            narrative = all(
+                n.startswith(("node.", "coll.", "congestion."))
+                for n in names)
             if not dropped and not narrative:
                 pos = -1
                 for step in ORDERED_LIFECYCLE:

@@ -2,8 +2,8 @@
 discoverable.
 
   knob-documented -- every fault.* / lossy.* / node.* / coll.* /
-                     trace.* / metrics.* / anatomy.* / profile.*
-                     config key
+                     trace.* / metrics.* / anatomy.* / congestion.* /
+                     traffic.* / profile.* config key
                      read anywhere
                      in src/ (getString/getInt/getDouble/getBool)
                      must be listed in the CLI help text in
@@ -29,7 +29,8 @@ from ..common import Violation
 
 KNOB_RE = re.compile(
     r'get(?:String|Int|Double|Bool)\s*\(\s*"'
-    r'((?:fault|lossy|node|coll|trace|metrics|anatomy|profile|campaign)'
+    r'((?:fault|lossy|node|coll|trace|metrics|anatomy|congestion'
+    r'|traffic|profile|campaign)'
     r'\.[A-Za-z0-9_.]+)"')
 # One knobDocs[] entry: {"name", "default", "doc..."}. The name is
 # the first string of the brace initializer.

@@ -1,0 +1,48 @@
+"""Shared helpers for tools that consume nifdy-report-1 JSON.
+
+Every analyzer in tools/ reads the same document shape -- the
+RunReport JSON written by `run_experiment --json` or any bench's
+`--json` flag (src/sim/report.hh). This module owns the loading and
+schema validation so the per-tool scripts agree on stdin handling
+and error wording.
+"""
+
+import json
+import sys
+
+SCHEMA = "nifdy-report-1"
+
+
+def load_report(path):
+    """Load and schema-check a report; "-" reads stdin.
+
+    Exits the process with a diagnostic on a wrong or missing
+    schema marker, mirroring the historical behaviour of the
+    per-tool loaders this replaces.
+    """
+    with (sys.stdin if path == "-" else open(path)) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: not a {SCHEMA} document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def find_table(doc, title_prefix):
+    """First table whose title starts with title_prefix, as a list
+    of {column: cell} dicts, or None when absent."""
+    for table in doc.get("tables", []):
+        if table.get("title", "").startswith(title_prefix):
+            cols = table["columns"]
+            return [dict(zip(cols, raw)) for raw in table["rows"]]
+    return None
+
+
+def cell_int(cell):
+    """Parse a Table::num cell ("1,234") into an int."""
+    return int(cell.replace(",", ""))
+
+
+def cell_float(cell):
+    """Parse a Table::num cell ("12.5" or "12.5%") into a float."""
+    return float(cell.replace(",", "").rstrip("%"))

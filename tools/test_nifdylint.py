@@ -222,6 +222,32 @@ def test_knob_documented_coll_negative():
     assert not vs
 
 
+def test_knob_documented_congestion_positive():
+    # congestion.* and traffic.* join the telemetry prefix family:
+    # an undocumented read anywhere in src/ is flagged.
+    vs = run_rule("knob-documented", {
+        "src/a.cc":
+            'bool on = conf.getBool("congestion.enabled");\n'
+            'long r = conf.getInt("traffic.incast.receiver", 0);\n',
+        "src/harness/experiment.cc": "// help text without it\n",
+    })
+    assert rules_hit(vs) == {"knob-documented"}
+    assert any("congestion.enabled" in v.message for v in vs)
+    assert any("traffic.incast.receiver" in v.message for v in vs)
+
+
+def test_knob_documented_congestion_negative():
+    vs = run_rule("knob-documented", {
+        "src/a.cc":
+            'bool on = conf.getBool("congestion.enabled");\n'
+            'double f = conf.getDouble("congestion.onFrac", 0.5);\n',
+        "src/harness/experiment.cc":
+            "//   congestion.enabled   congestion observatory\n"
+            "//   congestion.onFrac    episode-open stall fraction\n",
+    })
+    assert not vs
+
+
 # --- knob-in-design -----------------------------------------------------
 
 KNOB_TABLE = (
@@ -285,6 +311,30 @@ def test_knob_in_design_profile_negative():
     vs = run_rule("knob-in-design", {
         "src/harness/experiment.cc": PROFILE_KNOB_TABLE,
         "DESIGN.md": "`fault.dropProb` and `profile.enabled`.\n",
+    })
+    assert not vs
+
+
+CONGESTION_KNOB_TABLE = (
+    "const KnobDoc knobDocs[] = {\n"
+    '    {"fault.dropProb", "0", "per-hop drop probability"},\n'
+    '    {"congestion.window", "1024", "accounting window"},\n'
+    "};\n")
+
+
+def test_knob_in_design_congestion_positive():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": CONGESTION_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` only; congestion missing\n",
+    })
+    assert rules_hit(vs) == {"knob-in-design"}
+    assert any("congestion.window" in v.message for v in vs)
+
+
+def test_knob_in_design_congestion_negative():
+    vs = run_rule("knob-in-design", {
+        "src/harness/experiment.cc": CONGESTION_KNOB_TABLE,
+        "DESIGN.md": "`fault.dropProb` and `congestion.window`.\n",
     })
     assert not vs
 
